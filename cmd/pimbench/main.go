@@ -1,0 +1,76 @@
+// Command pimbench regenerates the paper's evaluation figures. Each
+// experiment prints the series the corresponding figure plots, as a
+// tab-separated table (see DESIGN.md section 4 for the mapping and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	pimbench -list
+//	pimbench -exp fig10a [-scale quick|default|paper] [-threads N] [-seed S]
+//	pimbench -all [-scale quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pimtree/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run (e.g. fig8a); see -list")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.String("scale", "default", "sweep scale: quick | default | paper")
+		threads = flag.Int("threads", 0, "worker threads for parallel joins (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: sc, Threads: *threads, Seed: *seed}
+
+	fmt.Printf("# pimbench: scale=%s threads=%d GOMAXPROCS=%d seed=%d\n",
+		*scale, effectiveThreads(*threads), runtime.GOMAXPROCS(0), *seed)
+
+	switch {
+	case *all:
+		for _, e := range bench.All() {
+			start := time.Now()
+			e.Run(cfg, os.Stdout)
+			fmt.Printf("# (%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *expID != "":
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pimbench: unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		e.Run(cfg, os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "pimbench: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+}
+
+func effectiveThreads(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

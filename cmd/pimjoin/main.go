@@ -1,0 +1,158 @@
+// Command pimjoin runs an ad-hoc sliding-window band join over synthetic
+// streams and prints throughput, match counts, and (for parallel runs)
+// latency — a command-line harness around the public pimtree API.
+//
+// Examples:
+//
+//	pimjoin -n 1000000 -w 65536 -sigma 2                       # serial PIM-Tree join
+//	pimjoin -n 1000000 -w 65536 -backend btree                 # serial B+-Tree baseline
+//	pimjoin -n 1000000 -w 65536 -parallel -threads 4           # shared-index parallel join
+//	pimjoin -n 500000 -w 16384 -self -dist gaussian            # skewed self-join
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimtree"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1_000_000, "tuples to process")
+		w        = flag.Int("w", 1<<16, "window length (both streams)")
+		ws       = flag.Int("ws", 0, "stream-S window length (0 = same as -w)")
+		sigma    = flag.Float64("sigma", 2, "target match rate (sets the band width)")
+		diffFlag = flag.Uint("diff", 0, "explicit band half-width (overrides -sigma)")
+		backend  = flag.String("backend", "pim", "index backend: pim | im | btree | bwtree | bchain | ibchain")
+		self     = flag.Bool("self", false, "self-join instead of two-way")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform | gaussian | gamma33 | gamma15")
+		parallel = flag.Bool("parallel", false, "use the multicore shared-index join")
+		threads  = flag.Int("threads", 0, "worker threads for -parallel (0 = GOMAXPROCS)")
+		task     = flag.Int("task", 8, "task size for -parallel")
+		blocking = flag.Bool("blocking-merge", false, "use blocking merges in -parallel")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		trace    = flag.String("trace", "", "replay a CSV trace (see pimtrace) instead of generating tuples")
+	)
+	flag.Parse()
+
+	if *ws == 0 {
+		*ws = *w
+	}
+	mkSource := sourceFactory(*dist)
+	if mkSource == nil {
+		fmt.Fprintf(os.Stderr, "pimjoin: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	diff := uint32(*diffFlag)
+	if diff == 0 {
+		if *dist == "uniform" {
+			diff = pimtree.DiffForMatchRate(*w, *sigma)
+		} else {
+			diff = pimtree.CalibrateDiff(mkSource, *w, *sigma)
+		}
+	}
+
+	var arrivals []pimtree.Arrival
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimjoin:", err)
+			os.Exit(1)
+		}
+		arrivals, err = pimtree.ReadArrivalsCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimjoin:", err)
+			os.Exit(1)
+		}
+		*n = len(arrivals)
+	} else if *self {
+		arrivals = pimtree.SelfArrivals(mkSource(*seed+1), *n)
+	} else {
+		arrivals = pimtree.Interleave(*seed, mkSource(*seed+1), mkSource(*seed+2), 0.5, *n)
+	}
+
+	fmt.Printf("pimjoin: n=%d wR=%d wS=%d diff=%d backend=%s dist=%s self=%v parallel=%v\n",
+		*n, *w, *ws, diff, *backend, *dist, *self, *parallel)
+
+	if *parallel {
+		st, err := pimtree.RunParallel(arrivals, pimtree.ParallelOptions{
+			Threads: *threads, TaskSize: *task,
+			WindowR: *w, WindowS: *ws, Self: *self, Diff: diff,
+			UseBwTree:     strings.EqualFold(*backend, "bwtree"),
+			BlockingMerge: *blocking,
+			RecordLatency: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimjoin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  throughput: %.3f Mtps  (%d tuples in %v)\n", st.Mtps, st.Tuples, st.Elapsed.Round(time.Millisecond))
+		fmt.Printf("  matches:    %d (%.3f per tuple)\n", st.Matches, float64(st.Matches)/float64(st.Tuples))
+		fmt.Printf("  merges:     %d (%v total)\n", st.Merges, st.MergeTime.Round(time.Microsecond))
+		fmt.Printf("  latency:    mean %.1f µs, p99 %.1f µs\n", st.MeanMicros, st.P99Micros)
+		return
+	}
+
+	be, ok := backendByName(*backend)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pimjoin: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	j, err := pimtree.NewJoin(pimtree.JoinOptions{
+		WindowR: *w, WindowS: *ws, Self: *self, Diff: diff, Backend: be,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimjoin:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	for _, a := range arrivals {
+		j.Push(a.Stream, a.Key)
+	}
+	elapsed := time.Since(start)
+	merges, mergeTime := j.Merges()
+	fmt.Printf("  throughput: %.3f Mtps  (%d tuples in %v)\n",
+		float64(*n)/elapsed.Seconds()/1e6, *n, elapsed.Round(time.Millisecond))
+	fmt.Printf("  matches:    %d (%.3f per tuple)\n", j.Matches(), float64(j.Matches())/float64(*n))
+	fmt.Printf("  merges:     %d (%v total)\n", merges, mergeTime.Round(time.Microsecond))
+}
+
+func sourceFactory(dist string) func(int64) pimtree.KeySource {
+	switch strings.ToLower(dist) {
+	case "uniform":
+		return func(s int64) pimtree.KeySource { return pimtree.UniformSource(s) }
+	case "gaussian":
+		return func(s int64) pimtree.KeySource { return pimtree.GaussianSource(s, 0.5, 0.125) }
+	case "gamma33":
+		return func(s int64) pimtree.KeySource { return pimtree.GammaSource(s, 3, 3) }
+	case "gamma15":
+		return func(s int64) pimtree.KeySource { return pimtree.GammaSource(s, 1, 5) }
+	default:
+		return nil
+	}
+}
+
+func backendByName(name string) (pimtree.Backend, bool) {
+	switch strings.ToLower(name) {
+	case "pim", "pimtree":
+		return pimtree.PIMTree, true
+	case "im", "imtree":
+		return pimtree.IMTree, true
+	case "btree", "b+tree", "bplustree":
+		return pimtree.BPlusTree, true
+	case "bwtree", "bw":
+		return pimtree.BwTree, true
+	case "bchain":
+		return pimtree.BChain, true
+	case "ibchain":
+		return pimtree.IBChain, true
+	default:
+		return pimtree.PIMTree, false
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"pimtree"
+)
+
+func TestBackendByName(t *testing.T) {
+	cases := map[string]pimtree.Backend{
+		"pim": pimtree.PIMTree, "pimtree": pimtree.PIMTree,
+		"im": pimtree.IMTree, "imtree": pimtree.IMTree,
+		"btree": pimtree.BPlusTree, "B+Tree": pimtree.BPlusTree, "bplustree": pimtree.BPlusTree,
+		"bwtree": pimtree.BwTree, "BW": pimtree.BwTree,
+		"bchain": pimtree.BChain, "ibchain": pimtree.IBChain,
+	}
+	for name, want := range cases {
+		got, ok := backendByName(name)
+		if !ok || got != want {
+			t.Fatalf("backendByName(%q) = %v,%v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := backendByName("nope"); ok {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestSourceFactory(t *testing.T) {
+	for _, dist := range []string{"uniform", "gaussian", "gamma33", "gamma15", "UNIFORM"} {
+		mk := sourceFactory(dist)
+		if mk == nil {
+			t.Fatalf("sourceFactory(%q) = nil", dist)
+		}
+		src := mk(1)
+		// Deterministic for a fixed seed.
+		if src.Next() != mk(1).Next() {
+			t.Fatalf("%s source not deterministic", dist)
+		}
+	}
+	if sourceFactory("nope") != nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}

@@ -1,0 +1,31 @@
+// Package pimtree is a Go implementation of the Partitioned In-memory
+// Merge-Tree (PIM-Tree) and the parallel index-based sliding-window join
+// built on it, reproducing "Parallel Index-based Stream Join on a Multicore
+// CPU" (Shahvarani & Jacobsen, SIGMOD 2020).
+//
+// The package offers three levels of API:
+//
+//   - Index: the PIM-Tree as a standalone concurrent sliding-window index —
+//     a two-stage structure whose immutable component serves lock-free
+//     lookups while inserts go to range-partitioned B+-Trees, with periodic
+//     delta merges replacing per-tuple deletes.
+//
+//   - Join: an incremental single-threaded band join over two sliding
+//     windows (or one, for self-joins). Push tuples, receive matches
+//     synchronously in arrival order. Backends cover every index the paper
+//     evaluates (PIM-Tree, IM-Tree, B+-Tree, Bw-Tree, chained index).
+//
+//   - RunParallel: the paper's multi-threaded shared-index join — a task
+//     queue feeding any number of workers, order-preserving result
+//     propagation, and non-blocking index merges.
+//
+// Workload helpers (UniformSource, GaussianSource, GammaSource,
+// DriftingGaussianSource, Interleave) regenerate the paper's synthetic
+// streams; DiffForMatchRate and CalibrateDiff pick band widths that hit a
+// target match rate.
+//
+// The repository also contains the full evaluation harness: cmd/pimbench
+// regenerates every figure of the paper's evaluation section (see DESIGN.md
+// and EXPERIMENTS.md), and cmd/pimjoin runs ad-hoc joins from the command
+// line.
+package pimtree

@@ -1,0 +1,123 @@
+package pimtree_test
+
+import (
+	"fmt"
+
+	"pimtree"
+)
+
+// ExampleNewJoin demonstrates the incremental band join: push tuples from
+// two streams, receive matches synchronously in arrival order.
+func ExampleNewJoin() {
+	j, _ := pimtree.NewJoin(pimtree.JoinOptions{
+		WindowR: 4,
+		WindowS: 4,
+		Diff:    2, // |R.x - S.x| <= 2
+		Backend: pimtree.PIMTree,
+	})
+	j.PushR(10)
+	j.PushR(20)
+	fmt.Println("S=11 matches:", j.PushS(11)) // pairs with R's 10
+	fmt.Println("S=15 matches:", j.PushS(15)) // pairs with nothing
+	fmt.Println("total:", j.Matches())
+	// Output:
+	// S=11 matches: 1
+	// S=15 matches: 0
+	// total: 1
+}
+
+// ExampleNewJoin_selfJoin shows a self-join: one stream, one window.
+func ExampleNewJoin_selfJoin() {
+	j, _ := pimtree.NewJoin(pimtree.JoinOptions{
+		WindowR: 8,
+		Self:    true,
+		Diff:    0, // exact duplicates only
+		Backend: pimtree.BPlusTree,
+	})
+	j.PushR(5)
+	j.PushR(7)
+	fmt.Println(j.PushR(5)) // duplicate of the first tuple
+	// Output: 1
+}
+
+// ExampleNewJoin_expiry shows the sliding window dropping old tuples.
+func ExampleNewJoin_expiry() {
+	j, _ := pimtree.NewJoin(pimtree.JoinOptions{
+		WindowR: 2, // keeps only the last two R tuples
+		WindowS: 2,
+		Diff:    0,
+		Backend: pimtree.PIMTree,
+	})
+	j.PushR(1)
+	j.PushR(2)
+	j.PushR(3) // evicts key 1 from the R window
+	fmt.Println(j.PushS(1))
+	fmt.Println(j.PushS(3))
+	// Output:
+	// 0
+	// 1
+}
+
+// ExampleRunParallel runs the multicore shared-index join over a batch and
+// reports aggregate statistics.
+func ExampleRunParallel() {
+	arrivals := []pimtree.Arrival{
+		{Stream: pimtree.R, Key: 100},
+		{Stream: pimtree.S, Key: 101},
+		{Stream: pimtree.R, Key: 500},
+		{Stream: pimtree.S, Key: 499},
+	}
+	st, _ := pimtree.RunParallel(arrivals, pimtree.ParallelOptions{
+		Threads: 2,
+		WindowR: 64,
+		WindowS: 64,
+		Diff:    1,
+	})
+	fmt.Println(st.Tuples, "tuples,", st.Matches, "matches")
+	// Output: 4 tuples, 2 matches
+}
+
+// ExampleNewIndex uses the PIM-Tree directly as a sliding-window index.
+func ExampleNewIndex() {
+	ix, _ := pimtree.NewIndex(1024, pimtree.IndexOptions{MergeRatio: 0.5})
+	for i := uint32(0); i < 10; i++ {
+		ix.Insert(i*10, i) // key, window reference
+	}
+	var keys []uint32
+	ix.Search(25, 55, func(key, ref uint32) bool {
+		keys = append(keys, key)
+		return true
+	})
+	fmt.Println(keys)
+	// Output: [30 40 50]
+}
+
+// ExampleIndex_SearchBox shows the 2-D extension: Morton-encoded points with
+// box queries.
+func ExampleIndex_SearchBox() {
+	ix, _ := pimtree.NewIndex(1024, pimtree.IndexOptions{})
+	ix.Insert(pimtree.EncodeXY(3, 4), 0)
+	ix.Insert(pimtree.EncodeXY(10, 10), 1)
+	ix.Insert(pimtree.EncodeXY(4, 5), 2)
+	n := 0
+	ix.SearchBox(0, 0, 5, 5, func(x, y uint16, ref uint32) bool {
+		n++
+		return true
+	})
+	fmt.Println(n, "points in box")
+	// Output: 2 points in box
+}
+
+// ExampleNewTimeJoin demonstrates the time-based window extension.
+func ExampleNewTimeJoin() {
+	j, _ := pimtree.NewTimeJoin(pimtree.TimeJoinOptions{
+		Span: 100, // window covers the last 100 time units
+		Diff: 0,
+	})
+	j.Push(pimtree.R, 7, 0)
+	fmt.Println(j.Push(pimtree.S, 7, 50))  // in window
+	fmt.Println(j.Push(pimtree.S, 7, 200)) // R tuple long expired
+	// Output:
+	// 1
+	// 0
+}

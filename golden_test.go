@@ -1,0 +1,65 @@
+package pimtree
+
+import "testing"
+
+// TestGoldenEndToEnd pins the complete pipeline — generator, band
+// calibration, serial join, parallel join — to exact expected outputs on a
+// fixed seed, guarding against silent semantic drift in any layer. If a
+// deliberate change alters these numbers, re-derive them with the NLWJ
+// oracle before updating.
+func TestGoldenEndToEnd(t *testing.T) {
+	const (
+		n    = 10000
+		w    = 256
+		seed = 12345
+	)
+	arr := Interleave(seed, UniformSource(seed+1), UniformSource(seed+2), 0.5, n)
+
+	// The workload itself is pinned.
+	if arr[0].Key != 1741871113 || arr[0].Stream != R {
+		t.Fatalf("generator drifted: first arrival %+v", arr[0])
+	}
+	var checksum uint64
+	for _, a := range arr {
+		checksum = checksum*31 + uint64(a.Key) + uint64(a.Stream)
+	}
+	const wantChecksum = uint64(14713924932380141590)
+	if checksum != wantChecksum {
+		t.Fatalf("workload checksum %d, want %d", checksum, wantChecksum)
+	}
+
+	diff := DiffForMatchRate(w, 2)
+	if diff != 8388607 {
+		t.Fatalf("DiffForMatchRate = %d, want 8388607", diff)
+	}
+
+	// Serial joins across backends agree on the golden match count
+	// (derived from the nested-loop oracle on this fixed workload).
+	const wantMatches = uint64(19356)
+	for _, b := range []Backend{PIMTree, IMTree, BPlusTree, BwTree} {
+		j, err := NewJoin(JoinOptions{WindowR: w, WindowS: w, Diff: diff, Backend: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arr {
+			j.Push(a.Stream, a.Key)
+		}
+		if j.Matches() != wantMatches {
+			t.Fatalf("%v: matches = %d, want %d", b, j.Matches(), wantMatches)
+		}
+	}
+
+	// The parallel driver reproduces the same count at several thread
+	// counts.
+	for _, threads := range []int{1, 2, 4} {
+		st, err := RunParallel(arr, ParallelOptions{
+			Threads: threads, WindowR: w, WindowS: w, Diff: diff,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Matches != wantMatches {
+			t.Fatalf("parallel threads=%d: matches = %d, want %d", threads, st.Matches, wantMatches)
+		}
+	}
+}

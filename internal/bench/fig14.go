@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"pimtree/internal/core"
+	"pimtree/internal/kv"
+	"pimtree/internal/stream"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "PIM-Tree merge cost vs window size (seconds per merge)",
+		Run:   runFig14,
+	})
+}
+
+func runFig14(cfg Config, out io.Writer) {
+	header(out, "fig14", "merge cost (filter + sorted-run merge + immutable rebuild)")
+	row(out, "w", "merge s", "ns/elem")
+	var windows []int
+	switch cfg.Scale {
+	case Quick:
+		windows = pows(10, 15)
+	case Paper:
+		windows = pows(15, 22)
+	default:
+		windows = pows(12, 18)
+	}
+	for _, w := range windows {
+		pc := core.PIMTreeConfig{MergeRatio: 1, InsertionDepth: 2}
+		pt := core.NewPIMTree(w, pc)
+		win := newRefWindow(w)
+		gen := stream.NewUniform(cfg.seed())
+		// One full cycle so TS holds w elements, then refill TI to m*w.
+		for i := 0; i < w; i++ {
+			pt.Insert(kv.Pair{Key: gen.Next(), Ref: win.push()})
+		}
+		pt.MergeInPlace(win.live)
+		for i := 0; i < w; i++ {
+			pt.Insert(kv.Pair{Key: gen.Next(), Ref: win.push()})
+		}
+		// Measure the merge of TS (w elems) with TI (w elems), repeated for
+		// stability at small sizes.
+		reps := 1
+		if w <= 1<<14 {
+			reps = 8
+		}
+		var total time.Duration
+		for rep := 0; rep < reps; rep++ {
+			total += pt.MergeInPlace(win.live)
+			if rep < reps-1 {
+				for i := 0; i < pt.MergeThreshold(); i++ {
+					pt.Insert(kv.Pair{Key: gen.Next(), Ref: win.push()})
+				}
+			}
+		}
+		avg := total / time.Duration(reps)
+		elems := float64(2 * w)
+		row(out, wLabel(w), avg.Seconds(), float64(avg.Nanoseconds())/elems)
+	}
+}

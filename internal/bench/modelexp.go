@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"io"
+
+	"pimtree/internal/model"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "model",
+		Title: "analytical cost model (Equations 1-6): per-tuple costs in abstract units",
+		Run:   runModel,
+	})
+}
+
+// runModel prints the closed-form per-tuple costs of Section 2 and 3 for
+// the sweep parameters the measured figures use, so model predictions and
+// measurements can be compared side by side.
+func runModel(cfg Config, out io.Writer) {
+	header(out, "model", "Equations 2-6: per-tuple cost (search/delete/insert, abstract units)")
+	row(out, "w", "eq", "variant", "search", "delete", "insert", "total")
+	for _, w := range cfg.windowRange() {
+		p := model.DefaultParams(float64(w))
+		emit := func(eq, variant string, c model.Cost) {
+			row(out, wLabel(w), eq, variant, c.Search, c.Delete, c.Insert, c.Total())
+		}
+		emit("eq2", "B+-Tree", p.BTree())
+		emit("eq3", "chain L=2", p.Chain(2))
+		emit("eq3", "chain L=8", p.Chain(8))
+		emit("eq4", "RR P=8", p.RoundRobin(8))
+		emit("eq5", "IM m=1/16", p.IMTree(1.0/16))
+		emit("eq6", "PIM m=1/16 DI=2", p.PIMTree(1.0/16, 2))
+		emit("nlwj", "NLWJ", p.NLWJ())
+	}
+	p20 := model.DefaultParams(1 << 20)
+	row(out, "2^20", "opt", "best-chain-L", p20.BestChainLength(16), "-", "-", "-")
+	row(out, "2^20", "opt", "best-merge-m", p20.BestMergeRatio(), "-", "-", "-")
+}

@@ -1,0 +1,186 @@
+package chainindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimtree/internal/kv"
+)
+
+func pair(k, r uint32) kv.Pair { return kv.Pair{Key: k, Ref: r} }
+
+func TestVariantString(t *testing.T) {
+	if BChain.String() != "B-chain" || IBChain.String() != "IB-chain" {
+		t.Fatal("variant names wrong")
+	}
+}
+
+func TestCapacitySizing(t *testing.T) {
+	if c := New(1, 100, BChain); c.SubindexCapacity() != 100 {
+		t.Fatalf("L=1 capacity %d, want 100", c.SubindexCapacity())
+	}
+	if c := New(2, 100, BChain); c.SubindexCapacity() != 100 {
+		t.Fatalf("L=2 capacity %d, want 100", c.SubindexCapacity())
+	}
+	if c := New(5, 100, BChain); c.SubindexCapacity() != 25 {
+		t.Fatalf("L=5 capacity %d, want 25", c.SubindexCapacity())
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 10, BChain) },
+		func() { New(2, 0, BChain) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArchiveRotation(t *testing.T) {
+	c := New(4, 30, BChain) // capacity 10
+	for i := 0; i < 35; i++ {
+		c.Insert(pair(uint32(i), uint32(i)), uint64(i))
+	}
+	if c.ChainedCount() != 3 {
+		t.Fatalf("ChainedCount = %d, want 3", c.ChainedCount())
+	}
+	if c.Len() != 35 {
+		t.Fatalf("Len = %d, want 35", c.Len())
+	}
+}
+
+func TestAdvanceDropsExpiredSubindexes(t *testing.T) {
+	c := New(4, 30, BChain) // capacity 10
+	for i := 0; i < 40; i++ {
+		c.Insert(pair(uint32(i), uint32(i)), uint64(i))
+	}
+	// Oldest live = 10: the first subindex (seqs 0..9) is fully expired.
+	c.Advance(10)
+	if c.ChainedCount() != 2 {
+		t.Fatalf("ChainedCount = %d after Advance, want 2", c.ChainedCount())
+	}
+	if c.Len() != 30 {
+		t.Fatalf("Len = %d after Advance, want 30", c.Len())
+	}
+	// Oldest live = 15: subindex holding seqs 10..19 still has live tuples.
+	c.Advance(15)
+	if c.ChainedCount() != 2 {
+		t.Fatalf("partially live subindex dropped")
+	}
+}
+
+func TestQueryAcrossSubindexes(t *testing.T) {
+	for _, v := range []Variant{BChain, IBChain} {
+		c := New(3, 20, v) // capacity 10
+		for i := 0; i < 30; i++ {
+			c.Insert(pair(uint32(i%50), uint32(i)), uint64(i))
+		}
+		var got []kv.Pair
+		c.Query(5, 15, func(p kv.Pair) bool {
+			got = append(got, p)
+			return true
+		})
+		want := 0
+		for i := 0; i < 30; i++ {
+			k := uint32(i % 50)
+			if k >= 5 && k <= 15 {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("%v: Query returned %d, want %d", v, len(got), want)
+		}
+		for _, p := range got {
+			if p.Key < 5 || p.Key > 15 {
+				t.Fatalf("%v: out-of-range key %d", v, p.Key)
+			}
+		}
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	c := New(3, 20, IBChain)
+	for i := 0; i < 30; i++ {
+		c.Insert(pair(uint32(i), uint32(i)), uint64(i))
+	}
+	n := 0
+	c.Query(0, 100, func(kv.Pair) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("early stop emitted %d, want 4", n)
+	}
+}
+
+// Property: for both variants, the chain behaves like a multiset of all
+// inserted, not-yet-disposed elements under range queries.
+func TestQuickChainMatchesReference(t *testing.T) {
+	f := func(keys []uint16, lRaw, wRaw uint8, lo16, hi16 uint16) bool {
+		l := int(lRaw%6) + 1
+		w := int(wRaw%64) + 8
+		lo, hi := uint32(lo16%600), uint32(hi16%600)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, v := range []Variant{BChain, IBChain} {
+			c := New(l, w, v)
+			ref := []kv.Pair{}
+			for i, k := range keys {
+				p := pair(uint32(k%600), uint32(i))
+				c.Insert(p, uint64(i))
+				ref = append(ref, p)
+			}
+			want := 0
+			for _, p := range ref {
+				if p.Key >= lo && p.Key <= hi {
+					want++
+				}
+			}
+			got := 0
+			c.Query(lo, hi, func(kv.Pair) bool { got++; return true })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Simulate a full sliding-window workload: after warmup, the number of
+// retained elements must stay bounded by w + capacity (the window plus the
+// partially-expired oldest subindex).
+func TestSteadyStateBound(t *testing.T) {
+	for _, v := range []Variant{BChain, IBChain} {
+		w := 64
+		c := New(4, w, v)
+		for i := 0; i < 2000; i++ {
+			c.Insert(pair(rand.Uint32()%1000, uint32(i)), uint64(i))
+			if i >= w {
+				c.Advance(uint64(i - w + 1))
+			}
+			if c.Len() > w+c.SubindexCapacity()+1 {
+				t.Fatalf("%v: retained %d > bound %d", v, c.Len(), w+c.SubindexCapacity()+1)
+			}
+		}
+	}
+}
+
+func TestMemoryNonZero(t *testing.T) {
+	c := New(3, 1000, IBChain)
+	for i := 0; i < 1500; i++ {
+		c.Insert(pair(uint32(i), uint32(i)), uint64(i))
+	}
+	leaf, _ := c.Memory()
+	if leaf < 1500*kv.PairBytes {
+		t.Fatalf("leaf bytes %d below payload", leaf)
+	}
+}

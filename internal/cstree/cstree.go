@@ -1,0 +1,313 @@
+// Package cstree implements the immutable B+-Tree of Section 3.1 and
+// Appendix A — a CSS-Tree-style index whose nodes are arranged into a single
+// array in breadth-first order, with child positions derived arithmetically
+// rather than through stored references (Appendix A.3, Algorithm 3).
+//
+// Because inner nodes carry no child pointers, fan-out is higher than in the
+// classic B+-Tree for the same node size, the tree is shallower, and lookups
+// are faster (the paper's motivation for using it as the search-efficient
+// component TS of IM-/PIM-Tree). The structure is immutable: it is built once
+// from a sorted run and never modified, which is why concurrent traversal
+// needs no locks (Section 3.3.3).
+//
+// Inner-node routing keys are subtree maxima: the key stored for a child is
+// the largest key in that child's subtree, pushed up during construction
+// exactly as in Algorithm 3. Each inner node holds sib = fanout-1 keys and
+// routes to fanout children (the last child needs no key).
+package cstree
+
+import (
+	"fmt"
+	"math"
+
+	"pimtree/internal/kv"
+	"pimtree/internal/metrics"
+)
+
+// DefaultFanout is fib in the paper's notation; 32 matches the configuration
+// discussed in Section 5 (Figure 13a).
+const DefaultFanout = 32
+
+// DefaultLeafSize is lib, the number of elements per leaf node.
+const DefaultLeafSize = 32
+
+const maxKey = math.MaxUint32
+
+// Tree is an immutable B+-Tree built from a sorted run of elements.
+type Tree struct {
+	leaves []kv.Pair // all elements, sorted, contiguous
+	inners []uint32  // BFS-ordered routing keys, sib per node
+
+	fanout   int   // fib: children per inner node
+	sib      int   // keys per inner node = fanout-1
+	leafSize int   // lib: elements per leaf node
+	offsets  []int // offsets[d]: first key slot of depth d within inners
+	counts   []int // counts[d]: number of inner nodes at depth d
+}
+
+// Config controls node geometry. Zero values select the defaults.
+type Config struct {
+	Fanout   int // fib, children per inner node (min 2)
+	LeafSize int // lib, elements per leaf node (min 2)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout == 0 {
+		c.Fanout = DefaultFanout
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = DefaultLeafSize
+	}
+	if c.Fanout < 2 {
+		panic(fmt.Sprintf("cstree: fanout %d too small (minimum 2)", c.Fanout))
+	}
+	if c.LeafSize < 2 {
+		panic(fmt.Sprintf("cstree: leaf size %d too small (minimum 2)", c.LeafSize))
+	}
+	return c
+}
+
+// Build constructs an immutable tree over sorted. The slice is retained (not
+// copied); callers hand over ownership, which is how the merge step avoids a
+// second copy of the merged run. Build panics if sorted is out of order.
+func Build(sorted []kv.Pair, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	if !kv.IsSorted(sorted) {
+		panic("cstree: Build input not sorted")
+	}
+	t := &Tree{
+		leaves:   sorted,
+		fanout:   cfg.Fanout,
+		sib:      cfg.Fanout - 1,
+		leafSize: cfg.LeafSize,
+	}
+	t.buildInners()
+	return t
+}
+
+// buildInners implements Algorithm 3: compute per-level node counts and
+// offsets, then push each leaf node's maximum up through the levels.
+func (t *Tree) buildInners() {
+	leafNodes := (len(t.leaves) + t.leafSize - 1) / t.leafSize
+	if leafNodes <= 1 {
+		// A single (possibly empty) leaf node needs no directory.
+		t.offsets = nil
+		t.counts = nil
+		t.inners = nil
+		return
+	}
+	// Level node counts from the bottom up until a single root remains.
+	var counts []int
+	n := (leafNodes + t.fanout - 1) / t.fanout
+	for {
+		counts = append([]int{n}, counts...)
+		if n == 1 {
+			break
+		}
+		n = (n + t.fanout - 1) / t.fanout
+	}
+	t.counts = counts
+	t.offsets = make([]int, len(counts))
+	total := 0
+	for d, c := range counts {
+		t.offsets[d] = total
+		total += c * t.sib
+	}
+	t.inners = make([]uint32, total)
+	for i := range t.inners {
+		t.inners[i] = maxKey // unwritten slots route left
+	}
+
+	depth := len(counts)
+	nodeSize := make([]int, depth)
+	currentSlot := make([]int, depth)
+	for leaf := 0; leaf < leafNodes; leaf++ {
+		end := (leaf + 1) * t.leafSize
+		if end > len(t.leaves) {
+			end = len(t.leaves)
+		}
+		maxOfLeaf := t.leaves[end-1].Key
+		// Push the leaf maximum up, filling the deepest level with space.
+		for k := depth - 1; k >= 0; k-- {
+			if nodeSize[k] != t.sib {
+				t.inners[t.offsets[k]+currentSlot[k]] = maxOfLeaf
+				nodeSize[k]++
+				currentSlot[k]++
+				break
+			}
+			// Node full: a new node begins at this level; the key that
+			// would have been its last child's maximum moves up instead.
+			nodeSize[k] = 0
+			// k == 0 with a full root means this is the rightmost path;
+			// the maximum needs no slot (discarded, see Appendix A.3).
+		}
+	}
+}
+
+// Len returns the number of stored elements (including any that the owner
+// considers expired; the tree itself has no notion of liveness).
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Fanout returns fib.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// LeafSize returns lib.
+func (t *Tree) LeafSize() int { return t.leafSize }
+
+// InnerDepth returns the number of inner levels (0 when the tree fits in one
+// leaf node). This bounds the feasible insertion depth DI of PIM-Tree.
+func (t *Tree) InnerDepth() int { return len(t.counts) }
+
+// NodesAtDepth returns the number of inner nodes at depth d (root = 0).
+// It returns 0 for depths outside the directory.
+func (t *Tree) NodesAtDepth(d int) int {
+	if d < 0 || d >= len(t.counts) {
+		return 0
+	}
+	return t.counts[d]
+}
+
+// Leaves exposes the underlying sorted run. Callers must not modify it; the
+// merge step reads it to combine TS with TI.
+func (t *Tree) Leaves() []kv.Pair { return t.leaves }
+
+// routeNode scans the sib keys of node p at depth d and returns the child
+// ordinal for key (the first child whose subtree maximum is >= key, or the
+// last child).
+func (t *Tree) routeNode(d, p int, key uint32) int {
+	base := t.offsets[d] + p*t.sib
+	metrics.Load(t.sib * 4)
+	for k := 0; k < t.sib; k++ {
+		if key <= t.inners[base+k] {
+			return k
+		}
+	}
+	return t.sib
+}
+
+// RouteToDepth descends the directory to depth d (exclusive of leaves) and
+// returns the node ordinal at that depth that covers key. Depth 0 always
+// returns 0. This is the first half of Algorithm 1: PIM-Tree uses it to find
+// the subindex Bi responsible for an inserted key.
+func (t *Tree) RouteToDepth(key uint32, d int) int {
+	if d <= 0 || len(t.counts) == 0 {
+		return 0
+	}
+	if d > len(t.counts) {
+		d = len(t.counts)
+	}
+	leafNodes := (len(t.leaves) + t.leafSize - 1) / t.leafSize
+	p := 0
+	for i := 0; i < d; i++ {
+		p = p*t.fanout + t.routeNode(i, p, key)
+		// Clamp to existing nodes at depth i+1 (ragged right edge: the
+		// rightmost node may have fewer children than fanout).
+		var max int
+		if i+1 < len(t.counts) {
+			max = t.counts[i+1] - 1
+		} else {
+			max = leafNodes - 1
+		}
+		if p > max {
+			p = max
+		}
+	}
+	return p
+}
+
+// LowerBound returns the index into Leaves() of the first element with
+// Key >= key, descending the directory and then scanning forward (Algorithm 2
+// lines 1–12).
+func (t *Tree) LowerBound(key uint32) int {
+	if len(t.leaves) == 0 {
+		return 0
+	}
+	p := t.RouteToDepth(key, len(t.counts)+1) // descend to leaf-node depth
+	i := p * t.leafSize
+	if i > len(t.leaves) {
+		i = len(t.leaves)
+	}
+	for i < len(t.leaves) && t.leaves[i].Key < key {
+		metrics.Load(kv.PairBytes)
+		i++
+	}
+	return i
+}
+
+// Query invokes emit for every element with lo <= Key <= hi in order; emit
+// returning false stops early.
+func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
+	for i := t.LowerBound(lo); i < len(t.leaves); i++ {
+		p := t.leaves[i]
+		metrics.Load(kv.PairBytes)
+		if p.Key > hi {
+			return
+		}
+		if !emit(p) {
+			return
+		}
+	}
+}
+
+// SubtreeBounds returns, for each node at depth d, the largest key routed to
+// that node's subtree (MaxUint32 for the rightmost). PIM-Tree uses the bounds
+// to stop cross-subindex scans early (Algorithm 2 lines 31–32).
+func (t *Tree) SubtreeBounds(d int) []uint32 {
+	n := t.NodesAtDepth(d)
+	if n == 0 {
+		return []uint32{maxKey}
+	}
+	bounds := make([]uint32, n)
+	leafNodes := (len(t.leaves) + t.leafSize - 1) / t.leafSize
+	// Each node at depth d covers fanout^(depth-d) leaf nodes.
+	span := 1
+	for i := d; i < len(t.counts); i++ {
+		span *= t.fanout
+	}
+	for p := 0; p < n; p++ {
+		lastLeaf := (p+1)*span - 1
+		if lastLeaf >= leafNodes-1 || p == n-1 {
+			bounds[p] = maxKey
+			continue
+		}
+		end := (lastLeaf + 1) * t.leafSize
+		if end > len(t.leaves) {
+			end = len(t.leaves)
+		}
+		bounds[p] = t.leaves[end-1].Key
+	}
+	return bounds
+}
+
+// MemoryStats describes the footprint of the immutable tree (Figure 11a).
+type MemoryStats struct {
+	LeafBytes  int
+	InnerBytes int
+}
+
+// Memory reports the heap footprint: element storage plus the key directory.
+func (t *Tree) Memory() MemoryStats {
+	return MemoryStats{
+		LeafBytes:  cap(t.leaves) * kv.PairBytes,
+		InnerBytes: cap(t.inners) * 4,
+	}
+}
+
+// CheckInvariants validates that the directory routes every stored element to
+// a position at or before its true location (the lower-bound contract). Used
+// by tests; linear in the number of elements.
+func (t *Tree) CheckInvariants() error {
+	if !kv.IsSorted(t.leaves) {
+		return fmt.Errorf("cstree: leaves not sorted")
+	}
+	for i, p := range t.leaves {
+		lb := t.LowerBound(p.Key)
+		if lb > i {
+			return fmt.Errorf("cstree: LowerBound(%d) = %d past element index %d", p.Key, lb, i)
+		}
+		if lb < len(t.leaves) && t.leaves[lb].Key < p.Key {
+			return fmt.Errorf("cstree: LowerBound(%d) landed on smaller key %d", p.Key, t.leaves[lb].Key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package cstree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimtree/internal/kv"
+)
+
+func sortedPairs(n int, seed int64, keySpace uint32) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]kv.Pair, n)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: rng.Uint32() % keySpace, Ref: uint32(i)}
+	}
+	kv.Sort(ps)
+	return ps
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr := Build(nil, Config{})
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.InnerDepth() != 0 {
+		t.Fatalf("InnerDepth = %d, want 0", tr.InnerDepth())
+	}
+	if lb := tr.LowerBound(5); lb != 0 {
+		t.Fatalf("LowerBound on empty = %d, want 0", lb)
+	}
+	n := 0
+	tr.Query(0, ^uint32(0), func(kv.Pair) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("Query on empty emitted %d", n)
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	ps := sortedPairs(10, 1, 100)
+	tr := Build(ps, Config{})
+	if tr.InnerDepth() != 0 {
+		t.Fatalf("InnerDepth = %d, want 0 for single leaf", tr.InnerDepth())
+	}
+	for i, p := range ps {
+		lb := tr.LowerBound(p.Key)
+		if lb > i {
+			t.Fatalf("LowerBound(%d) = %d, past index %d", p.Key, lb, i)
+		}
+	}
+}
+
+func TestBuildUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with unsorted input did not panic")
+		}
+	}()
+	Build([]kv.Pair{{Key: 2}, {Key: 1}}, Config{})
+}
+
+func TestLowerBoundExhaustive(t *testing.T) {
+	for _, cfg := range []Config{
+		{Fanout: 2, LeafSize: 2},
+		{Fanout: 4, LeafSize: 4},
+		{Fanout: 32, LeafSize: 32},
+		{Fanout: 8, LeafSize: 16},
+	} {
+		for _, n := range []int{0, 1, 2, 3, 7, 15, 16, 17, 63, 64, 65, 1000, 4097} {
+			ps := sortedPairs(n, int64(n), 500)
+			tr := Build(ps, cfg)
+			for key := uint32(0); key < 510; key += 3 {
+				want := kv.LowerBound(ps, key)
+				got := tr.LowerBound(key)
+				if got != want {
+					t.Fatalf("cfg=%+v n=%d: LowerBound(%d) = %d, want %d", cfg, n, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryMatchesReference(t *testing.T) {
+	ps := sortedPairs(5000, 2, 2000)
+	tr := Build(ps, Config{Fanout: 8, LeafSize: 8})
+	for trial := 0; trial < 100; trial++ {
+		lo := uint32(trial * 17 % 2000)
+		hi := lo + uint32(trial%64)
+		want := []kv.Pair{}
+		for _, p := range ps {
+			if p.Key >= lo && p.Key <= hi {
+				want = append(want, p)
+			}
+		}
+		got := []kv.Pair{}
+		tr.Query(lo, hi, func(p kv.Pair) bool {
+			got = append(got, p)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Query(%d,%d) returned %d, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Query(%d,%d)[%d] = %v, want %v", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	ps := sortedPairs(1000, 3, 100)
+	tr := Build(ps, Config{})
+	n := 0
+	tr.Query(0, ^uint32(0), func(kv.Pair) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop emitted %d, want 5", n)
+	}
+}
+
+func TestRouteToDepthCoversAllNodes(t *testing.T) {
+	ps := make([]kv.Pair, 1<<12)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32(i), Ref: uint32(i)}
+	}
+	tr := Build(ps, Config{Fanout: 4, LeafSize: 4})
+	for d := 0; d <= tr.InnerDepth(); d++ {
+		maxOrd := tr.NodesAtDepth(d) - 1
+		if d == tr.InnerDepth() {
+			maxOrd = (tr.Len()+tr.LeafSize()-1)/tr.LeafSize() - 1
+		}
+		seen := map[int]bool{}
+		for _, p := range ps {
+			ord := tr.RouteToDepth(p.Key, d)
+			if ord < 0 || ord > maxOrd {
+				t.Fatalf("depth %d: RouteToDepth(%d) = %d out of [0,%d]", d, p.Key, ord, maxOrd)
+			}
+			seen[ord] = true
+		}
+		if d > 0 && len(seen) < 2 {
+			t.Fatalf("depth %d: routing collapsed to %d node(s)", d, len(seen))
+		}
+	}
+}
+
+func TestRouteToDepthMonotone(t *testing.T) {
+	ps := sortedPairs(4000, 4, 1<<20)
+	tr := Build(ps, Config{Fanout: 8, LeafSize: 8})
+	for d := 1; d <= tr.InnerDepth(); d++ {
+		prev := -1
+		for key := uint32(0); key < 1<<20; key += 1 << 12 {
+			ord := tr.RouteToDepth(key, d)
+			if ord < prev {
+				t.Fatalf("depth %d: routing not monotone (%d after %d at key %d)", d, ord, prev, key)
+			}
+			prev = ord
+		}
+	}
+}
+
+func TestSubtreeBounds(t *testing.T) {
+	ps := make([]kv.Pair, 1000)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32(i * 3), Ref: uint32(i)}
+	}
+	tr := Build(ps, Config{Fanout: 4, LeafSize: 4})
+	for d := 0; d <= tr.InnerDepth(); d++ {
+		var bounds []uint32
+		if d == tr.InnerDepth() {
+			continue
+		}
+		bounds = tr.SubtreeBounds(d)
+		if len(bounds) != tr.NodesAtDepth(d) {
+			t.Fatalf("depth %d: %d bounds for %d nodes", d, len(bounds), tr.NodesAtDepth(d))
+		}
+		if bounds[len(bounds)-1] != ^uint32(0) {
+			t.Fatalf("depth %d: last bound %d, want MaxUint32", d, bounds[len(bounds)-1])
+		}
+		// Every key must route to a node whose bound is >= key and whose
+		// predecessor's bound is < key.
+		for _, p := range ps {
+			ord := tr.RouteToDepth(p.Key, d)
+			if bounds[ord] < p.Key {
+				t.Fatalf("depth %d: key %d routed to node %d with bound %d", d, p.Key, ord, bounds[ord])
+			}
+		}
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 1023, 1024, 1025} {
+		ps := sortedPairs(n, int64(n)+9, 300)
+		tr := Build(ps, Config{Fanout: 4, LeafSize: 4})
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMemory(t *testing.T) {
+	ps := sortedPairs(10000, 6, 1<<30)
+	tr := Build(ps, Config{})
+	m := tr.Memory()
+	if m.LeafBytes < 10000*kv.PairBytes {
+		t.Fatalf("LeafBytes = %d, below payload", m.LeafBytes)
+	}
+	if m.InnerBytes <= 0 {
+		t.Fatal("InnerBytes should be positive")
+	}
+	// The directory should be far smaller than the data (the CSS advantage).
+	if m.InnerBytes > m.LeafBytes/4 {
+		t.Fatalf("InnerBytes %d too large relative to LeafBytes %d", m.InnerBytes, m.LeafBytes)
+	}
+}
+
+func TestHigherFanoutShallower(t *testing.T) {
+	ps := sortedPairs(1<<15, 7, 1<<30)
+	shallow := Build(ps, Config{Fanout: 64, LeafSize: 32})
+	deep := Build(ps, Config{Fanout: 4, LeafSize: 32})
+	if shallow.InnerDepth() >= deep.InnerDepth() {
+		t.Fatalf("fanout 64 depth %d not shallower than fanout 4 depth %d",
+			shallow.InnerDepth(), deep.InnerDepth())
+	}
+}
+
+func TestDuplicateKeysLowerBoundFirst(t *testing.T) {
+	ps := make([]kv.Pair, 0, 300)
+	for i := 0; i < 100; i++ {
+		for r := 0; r < 3; r++ {
+			ps = append(ps, kv.Pair{Key: uint32(i * 2), Ref: uint32(r)})
+		}
+	}
+	tr := Build(ps, Config{Fanout: 4, LeafSize: 4})
+	for i := 0; i < 100; i++ {
+		key := uint32(i * 2)
+		lb := tr.LowerBound(key)
+		if tr.Leaves()[lb] != (kv.Pair{Key: key, Ref: 0}) {
+			t.Fatalf("LowerBound(%d) landed on %v, want first duplicate", key, tr.Leaves()[lb])
+		}
+	}
+}
+
+// Property: LowerBound agrees with binary search on arbitrary inputs and
+// geometries.
+func TestQuickLowerBound(t *testing.T) {
+	f := func(keys []uint32, probe uint32, fanout, leafSize uint8) bool {
+		fo := int(fanout%16) + 2
+		ls := int(leafSize%16) + 2
+		ps := make([]kv.Pair, len(keys))
+		for i, k := range keys {
+			ps[i] = kv.Pair{Key: k % 4096, Ref: uint32(i)}
+		}
+		kv.Sort(ps)
+		tr := Build(ps, Config{Fanout: fo, LeafSize: ls})
+		probe %= 4200
+		return tr.LowerBound(probe) == kv.LowerBound(ps, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	ps := make([]kv.Pair, 1<<18)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32(i), Ref: uint32(i)}
+	}
+	tr := Build(ps, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LowerBound(uint32(i) % (1 << 18))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	ps := make([]kv.Pair, 1<<16)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32(i), Ref: uint32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ps, Config{})
+	}
+}

@@ -1,0 +1,104 @@
+package cstree
+
+import (
+	"testing"
+
+	"pimtree/internal/kv"
+)
+
+// TestAlgorithm3GoldenLayout verifies the BFS directory produced by
+// Algorithm 3 on a hand-computed example: fanout 2 (sib = 1 key per node),
+// leaf size 2, eight elements with keys 10..80.
+//
+// Leaves (4 nodes):        [10 20] [30 40] [50 60] [70 80]
+// Level 1 (2 nodes):       maxima of leaves 0 and 2 -> keys 20, 60
+//
+//	(leaf 1's max 40 moves up when node 0 fills; leaf 3's max is discarded
+//	 at the root — the rightmost path needs no key)
+//
+// Level 0 (1 node, root):  key 40
+func TestAlgorithm3GoldenLayout(t *testing.T) {
+	ps := make([]kv.Pair, 8)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32((i + 1) * 10), Ref: uint32(i)}
+	}
+	tr := Build(ps, Config{Fanout: 2, LeafSize: 2})
+	if tr.InnerDepth() != 2 {
+		t.Fatalf("InnerDepth = %d, want 2", tr.InnerDepth())
+	}
+	if tr.NodesAtDepth(0) != 1 || tr.NodesAtDepth(1) != 2 {
+		t.Fatalf("level node counts = %d,%d; want 1,2", tr.NodesAtDepth(0), tr.NodesAtDepth(1))
+	}
+	wantInners := []uint32{40, 20, 60}
+	if len(tr.inners) != len(wantInners) {
+		t.Fatalf("inners = %v, want %v", tr.inners, wantInners)
+	}
+	for i, want := range wantInners {
+		if tr.inners[i] != want {
+			t.Fatalf("inners[%d] = %d, want %d (full directory: %v)", i, tr.inners[i], want, tr.inners)
+		}
+	}
+	// Routing checks against the hand-derived structure.
+	for _, tc := range []struct {
+		key  uint32
+		leaf int
+	}{
+		{5, 0}, {10, 0}, {20, 0}, {21, 1}, {40, 1}, {41, 2}, {60, 2}, {61, 3}, {99, 3},
+	} {
+		if got := tr.RouteToDepth(tc.key, 2); got != tc.leaf {
+			t.Fatalf("RouteToDepth(%d) = leaf %d, want %d", tc.key, got, tc.leaf)
+		}
+	}
+	// Subtree bounds at depth 1: node 0 covers keys <= 40, node 1 unbounded.
+	bounds := tr.SubtreeBounds(1)
+	if bounds[0] != 40 || bounds[1] != ^uint32(0) {
+		t.Fatalf("SubtreeBounds(1) = %v", bounds)
+	}
+}
+
+// TestRaggedGoldenLayout pins down the ragged-edge case: five leaf nodes at
+// fanout 2 produce a three-level directory with unwritten slots routing left.
+func TestRaggedGoldenLayout(t *testing.T) {
+	ps := make([]kv.Pair, 10)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: uint32((i + 1) * 10), Ref: uint32(i)}
+	}
+	tr := Build(ps, Config{Fanout: 2, LeafSize: 2})
+	// 5 leaves -> levels: ceil(5/2)=3, ceil(3/2)=2, 1 -> depth 3.
+	if tr.InnerDepth() != 3 {
+		t.Fatalf("InnerDepth = %d, want 3", tr.InnerDepth())
+	}
+	if tr.NodesAtDepth(0) != 1 || tr.NodesAtDepth(1) != 2 || tr.NodesAtDepth(2) != 3 {
+		t.Fatalf("level counts = %d,%d,%d", tr.NodesAtDepth(0), tr.NodesAtDepth(1), tr.NodesAtDepth(2))
+	}
+	// Every element must still be found through the ragged directory.
+	for i, p := range ps {
+		if lb := tr.LowerBound(p.Key); lb != i {
+			t.Fatalf("LowerBound(%d) = %d, want %d", p.Key, lb, i)
+		}
+	}
+	// Keys beyond every stored key land at the end.
+	if lb := tr.LowerBound(101); lb != len(ps) {
+		t.Fatalf("LowerBound(101) = %d, want %d", tr.LowerBound(101), len(ps))
+	}
+}
+
+// FuzzLowerBound cross-checks directory descent against binary search for
+// arbitrary geometry and content.
+func FuzzLowerBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint32(3), uint8(2), uint8(2))
+	f.Add([]byte{10, 10, 10, 20}, uint32(10), uint8(5), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint32, fo, ls uint8) {
+		cfg := Config{Fanout: int(fo%16) + 2, LeafSize: int(ls%16) + 2}
+		ps := make([]kv.Pair, len(raw))
+		for i, b := range raw {
+			ps[i] = kv.Pair{Key: uint32(b) << 8, Ref: uint32(i)}
+		}
+		kv.Sort(ps)
+		tr := Build(ps, cfg)
+		probe %= 1 << 17
+		if got, want := tr.LowerBound(probe), kv.LowerBound(ps, probe); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d (cfg %+v)", probe, got, want, cfg)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package join
+
+import (
+	"testing"
+
+	"pimtree/internal/core"
+	"pimtree/internal/stream"
+)
+
+// Edge-case and failure-injection coverage for all drivers: degenerate
+// windows, empty inputs, extreme predicates, and configuration boundaries.
+
+func TestEmptyArrivals(t *testing.T) {
+	cfg := SerialConfig{WR: 8, WS: 8, Band: Band{Diff: 1}}
+	if st := NLWJ(nil, cfg); st.Tuples != 0 || st.Matches != 0 {
+		t.Fatal("NLWJ on empty input")
+	}
+	cfg.Index = IndexPIMTree
+	if st := IBWJSerial(nil, cfg); st.Tuples != 0 || st.Matches != 0 {
+		t.Fatal("IBWJ on empty input")
+	}
+	if st := RunRR(nil, RRConfig{Cores: 2, WR: 8, WS: 8}); st.Tuples != 0 {
+		t.Fatal("RR on empty input")
+	}
+	if st := RunShared(nil, SharedConfig{Threads: 2, WR: 64, WS: 64, Index: IndexPIMTree}); st.Tuples != 0 {
+		t.Fatal("shared on empty input")
+	}
+}
+
+func TestSingleTuple(t *testing.T) {
+	arr := []stream.Arrival{{Stream: stream.StreamR, Key: 42}}
+	st := IBWJSerial(arr, SerialConfig{WR: 4, WS: 4, Band: Band{Diff: 100}, Index: IndexBTree})
+	if st.Matches != 0 || st.Tuples != 1 {
+		t.Fatalf("single tuple: %+v", st)
+	}
+	st = RunShared(arr, SharedConfig{Threads: 4, TaskSize: 8, WR: 64, WS: 64,
+		Band: Band{Diff: 100}, Index: IndexPIMTree})
+	if st.Matches != 0 || st.Tuples != 1 {
+		t.Fatalf("single tuple shared: %+v", st)
+	}
+}
+
+func TestWindowOfOne(t *testing.T) {
+	arr := twoWayArrivals(500, 31, 64)
+	oracle := NLWJ(arr, SerialConfig{WR: 1, WS: 1, Band: Band{Diff: 2}})
+	got := IBWJSerial(arr, SerialConfig{WR: 1, WS: 1, Band: Band{Diff: 2}, Index: IndexBTree})
+	if got.Matches != oracle.Matches {
+		t.Fatalf("w=1: %d vs oracle %d", got.Matches, oracle.Matches)
+	}
+	gotPIM := IBWJSerial(arr, SerialConfig{WR: 1, WS: 1, Band: Band{Diff: 2},
+		Index: IndexPIMTree, PIM: smallPIM()})
+	if gotPIM.Matches != oracle.Matches {
+		t.Fatalf("w=1 PIM: %d vs oracle %d", gotPIM.Matches, oracle.Matches)
+	}
+}
+
+func TestZeroDiffEqualityJoin(t *testing.T) {
+	// diff=0 degenerates the band join to an equi-join.
+	arr := twoWayArrivals(3000, 32, 64) // tiny key space: plenty of equal keys
+	oracle := NLWJ(arr, SerialConfig{WR: 128, WS: 128, Band: Band{Diff: 0}})
+	if oracle.Matches == 0 {
+		t.Fatal("equality oracle found nothing; key space too large")
+	}
+	for _, kind := range []IndexKind{IndexBTree, IndexPIMTree, IndexBwTree} {
+		got := IBWJSerial(arr, SerialConfig{WR: 128, WS: 128, Band: Band{Diff: 0},
+			Index: kind, PIM: smallPIM(), IM: smallIM()})
+		if got.Matches != oracle.Matches {
+			t.Fatalf("%v diff=0: %d vs %d", kind, got.Matches, oracle.Matches)
+		}
+	}
+}
+
+func TestFullDomainDiff(t *testing.T) {
+	// diff covering the whole domain: every live pair matches (cross join).
+	arr := twoWayArrivals(400, 33, 1<<30)
+	w := 32
+	oracle := NLWJ(arr, SerialConfig{WR: w, WS: w, Band: Band{Diff: ^uint32(0)}})
+	got := IBWJSerial(arr, SerialConfig{WR: w, WS: w, Band: Band{Diff: ^uint32(0)},
+		Index: IndexPIMTree, PIM: smallPIM()})
+	if got.Matches != oracle.Matches {
+		t.Fatalf("cross join: %d vs %d", got.Matches, oracle.Matches)
+	}
+}
+
+func TestMoreThreadsThanTuples(t *testing.T) {
+	arr := twoWayArrivals(10, 34, 1024)
+	st := RunShared(arr, SharedConfig{Threads: 8, TaskSize: 4, WR: 512, WS: 512,
+		Band: Band{Diff: 1000}, Index: IndexPIMTree, PIM: smallPIM()})
+	if st.Tuples != 10 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	oracle := NLWJ(arr, SerialConfig{WR: 512, WS: 512, Band: Band{Diff: 1000}})
+	if st.Matches != oracle.Matches {
+		t.Fatalf("matches %d vs %d", st.Matches, oracle.Matches)
+	}
+}
+
+func TestTaskSizeLargerThanInput(t *testing.T) {
+	arr := twoWayArrivals(5, 35, 1024)
+	st := RunShared(arr, SharedConfig{Threads: 2, TaskSize: 100, WR: 512, WS: 512,
+		Band: Band{Diff: 1 << 28}, Index: IndexPIMTree, PIM: smallPIM()})
+	if st.Tuples != 5 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+}
+
+func TestOneSidedInput(t *testing.T) {
+	// All tuples from one stream: a two-way join must emit nothing.
+	arr := make([]stream.Arrival, 1000)
+	for i := range arr {
+		arr[i] = stream.Arrival{Stream: stream.StreamR, Key: uint32(i % 50)}
+	}
+	st := IBWJSerial(arr, SerialConfig{WR: 64, WS: 64, Band: Band{Diff: 1 << 30},
+		Index: IndexPIMTree, PIM: smallPIM()})
+	if st.Matches != 0 {
+		t.Fatalf("one-sided join matched %d", st.Matches)
+	}
+	stP := RunShared(arr, SharedConfig{Threads: 2, TaskSize: 8, WR: 512, WS: 512,
+		Band: Band{Diff: 1 << 30}, Index: IndexPIMTree, PIM: smallPIM()})
+	if stP.Matches != 0 {
+		t.Fatalf("one-sided parallel join matched %d", stP.Matches)
+	}
+}
+
+func TestExtremeMergeRatios(t *testing.T) {
+	arr := twoWayArrivals(3000, 36, 4096)
+	oracle := NLWJ(arr, SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8}})
+	for _, m := range []float64{1.0 / 256, 1} {
+		pc := core.PIMTreeConfig{MergeRatio: m, InsertionDepth: 2}
+		got := IBWJSerial(arr, SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8},
+			Index: IndexPIMTree, PIM: pc})
+		if got.Matches != oracle.Matches {
+			t.Fatalf("m=%f: %d vs %d", m, got.Matches, oracle.Matches)
+		}
+	}
+}
+
+func TestExtremeInsertionDepths(t *testing.T) {
+	arr := twoWayArrivals(3000, 37, 4096)
+	oracle := NLWJ(arr, SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8}})
+	for _, di := range []int{1, 8} { // 8 clamps to the feasible maximum
+		pc := core.PIMTreeConfig{MergeRatio: 0.5, InsertionDepth: di}
+		got := IBWJSerial(arr, SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8},
+			Index: IndexPIMTree, PIM: pc})
+		if got.Matches != oracle.Matches {
+			t.Fatalf("di=%d: %d vs %d", di, got.Matches, oracle.Matches)
+		}
+	}
+}
+
+func TestRRSingleCoreEqualsSerial(t *testing.T) {
+	arr := twoWayArrivals(2000, 38, 2048)
+	oracle := NLWJ(arr, SerialConfig{WR: 128, WS: 128, Band: Band{Diff: 16}})
+	got := RunRR(arr, RRConfig{Cores: 1, WR: 128, WS: 128, Band: Band{Diff: 16}, Indexed: true})
+	if got.Matches != oracle.Matches {
+		t.Fatalf("1-core RR: %d vs %d", got.Matches, oracle.Matches)
+	}
+}
+
+func TestRRMoreCoresThanWindow(t *testing.T) {
+	arr := twoWayArrivals(2000, 39, 2048)
+	oracle := NLWJ(arr, SerialConfig{WR: 4, WS: 4, Band: Band{Diff: 1 << 24}})
+	got := RunRR(arr, RRConfig{Cores: 8, WR: 4, WS: 4, Band: Band{Diff: 1 << 24}, Indexed: true, Batch: 16})
+	if got.Matches != oracle.Matches {
+		t.Fatalf("tiny-window RR: %d vs %d", got.Matches, oracle.Matches)
+	}
+}
+
+func TestSharedStatsAccounting(t *testing.T) {
+	arr := twoWayArrivals(6000, 40, 4096)
+	st := RunShared(arr, SharedConfig{Threads: 2, TaskSize: 8, WR: 256, WS: 256,
+		Band: Band{Diff: 8}, Index: IndexPIMTree, PIM: smallPIM()})
+	if st.Tuples != 6000 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+	if st.Merges > 0 && st.MergeTime <= 0 {
+		t.Fatal("merge time missing despite merges")
+	}
+}
+
+func TestSharedChunkThroughput(t *testing.T) {
+	arr := twoWayArrivals(8000, 41, 4096)
+	st := RunShared(arr, SharedConfig{Threads: 2, TaskSize: 8, WR: 512, WS: 512,
+		Band: Band{Diff: 8}, Index: IndexPIMTree, PIM: smallPIM(), ChunkTuples: 1000})
+	if len(st.Chunks) < 7 {
+		t.Fatalf("chunks = %d, want >= 7", len(st.Chunks))
+	}
+	for i, c := range st.Chunks {
+		if c.Mtps <= 0 || c.Tuples != 1000 {
+			t.Fatalf("chunk %d = %+v", i, c)
+		}
+	}
+}
+
+func TestStreamingEngineIntrospection(t *testing.T) {
+	eng := NewStreaming(SerialConfig{WR: 16, WS: 16, Band: Band{Diff: 5}, Index: IndexBTree})
+	eng.Push(stream.Arrival{Stream: stream.StreamR, Key: 10})
+	eng.Push(stream.Arrival{Stream: stream.StreamS, Key: 11})
+	if eng.Seq(stream.StreamR) != 1 || eng.Seq(stream.StreamS) != 1 {
+		t.Fatal("sequence counters wrong")
+	}
+	if key, ok := eng.KeyOf(stream.StreamR, 0); !ok || key != 10 {
+		t.Fatalf("KeyOf = %d,%v", key, ok)
+	}
+	if _, ok := eng.KeyOf(stream.StreamR, 99); ok {
+		t.Fatal("KeyOf of unpushed sequence reported ok")
+	}
+	if eng.WindowCount(stream.StreamR) != 1 {
+		t.Fatal("window count wrong")
+	}
+}

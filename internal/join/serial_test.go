@@ -1,0 +1,244 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pimtree/internal/core"
+	"pimtree/internal/cstree"
+	"pimtree/internal/stream"
+)
+
+// twoWayArrivals builds a deterministic symmetric two-stream workload.
+func twoWayArrivals(n int, seed int64, keySpace uint32) []stream.Arrival {
+	gen := stream.NewInterleaver(seed, capped{stream.NewUniform(seed + 1), keySpace}, capped{stream.NewUniform(seed + 2), keySpace}, 0.5)
+	return gen.Take(n)
+}
+
+// capped restricts a generator to a smaller key space so tests get real
+// match activity at tiny scales.
+type capped struct {
+	g     stream.KeyGen
+	space uint32
+}
+
+func (c capped) Next() uint32 { return c.g.Next() % c.space }
+
+// matchRec identifies one join output for exact set comparison.
+type matchRec struct {
+	stream   uint8
+	probeSeq uint64
+	matchSeq uint64
+}
+
+func collectSink(recs *[]matchRec) MatchSink {
+	return func(s uint8, p, m uint64) {
+		*recs = append(*recs, matchRec{s, p, m})
+	}
+}
+
+func sortRecs(rs []matchRec) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.stream != b.stream {
+			return a.stream < b.stream
+		}
+		if a.probeSeq != b.probeSeq {
+			return a.probeSeq < b.probeSeq
+		}
+		return a.matchSeq < b.matchSeq
+	})
+}
+
+func allIndexKinds() []IndexKind {
+	return []IndexKind{IndexBTree, IndexChainB, IndexChainIB, IndexBwTree, IndexIMTree, IndexPIMTree}
+}
+
+func smallPIM() core.PIMTreeConfig {
+	return core.PIMTreeConfig{MergeRatio: 0.5, InsertionDepth: 2, CSTree: cstree.Config{Fanout: 8, LeafSize: 8}}
+}
+
+func smallIM() core.IMTreeConfig {
+	return core.IMTreeConfig{MergeRatio: 0.5, CSTree: cstree.Config{Fanout: 8, LeafSize: 8}}
+}
+
+func TestIBWJSerialAllIndexesMatchNLWJ(t *testing.T) {
+	arr := twoWayArrivals(6000, 1, 4096)
+	base := SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8}}
+	oracle := NLWJ(arr, base)
+	if oracle.Matches == 0 {
+		t.Fatal("oracle produced no matches; workload broken")
+	}
+	for _, kind := range allIndexKinds() {
+		cfg := base
+		cfg.Index = kind
+		cfg.ChainLength = 3
+		cfg.IM = smallIM()
+		cfg.PIM = smallPIM()
+		got := IBWJSerial(arr, cfg)
+		if got.Matches != oracle.Matches {
+			t.Fatalf("%v: matches = %d, oracle = %d", kind, got.Matches, oracle.Matches)
+		}
+		if got.Tuples != len(arr) {
+			t.Fatalf("%v: tuples = %d", kind, got.Tuples)
+		}
+	}
+}
+
+func TestIBWJSerialExactResultSet(t *testing.T) {
+	arr := twoWayArrivals(3000, 2, 2048)
+	var nl, ib []matchRec
+	cfgNL := SerialConfig{WR: 128, WS: 128, Band: Band{Diff: 6}, Sink: collectSink(&nl)}
+	NLWJ(arr, cfgNL)
+	for _, kind := range []IndexKind{IndexBTree, IndexPIMTree, IndexIMTree} {
+		ib = ib[:0]
+		cfg := SerialConfig{WR: 128, WS: 128, Band: Band{Diff: 6}, Sink: collectSink(&ib),
+			Index: kind, IM: smallIM(), PIM: smallPIM()}
+		IBWJSerial(arr, cfg)
+		if len(ib) != len(nl) {
+			t.Fatalf("%v: %d results, oracle %d", kind, len(ib), len(nl))
+		}
+		a := append([]matchRec{}, nl...)
+		b := append([]matchRec{}, ib...)
+		sortRecs(a)
+		sortRecs(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: result %d = %+v, oracle %+v", kind, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestSelfJoinSerial(t *testing.T) {
+	arr := stream.NewSelfStream(capped{stream.NewUniform(7), 2048}).Take(5000)
+	base := SerialConfig{WR: 256, Self: true, Band: Band{Diff: 5}}
+	oracle := NLWJ(arr, base)
+	if oracle.Matches == 0 {
+		t.Fatal("self-join oracle produced no matches")
+	}
+	for _, kind := range []IndexKind{IndexBTree, IndexPIMTree, IndexIMTree, IndexBwTree} {
+		cfg := base
+		cfg.Index = kind
+		cfg.IM = smallIM()
+		cfg.PIM = smallPIM()
+		got := IBWJSerial(arr, cfg)
+		if got.Matches != oracle.Matches {
+			t.Fatalf("%v self-join: matches = %d, oracle = %d", kind, got.Matches, oracle.Matches)
+		}
+	}
+}
+
+func TestAsymmetricWindowsSerial(t *testing.T) {
+	arr := twoWayArrivals(6000, 3, 4096)
+	for _, ws := range []int{64, 256, 1024} {
+		base := SerialConfig{WR: 256, WS: ws, Band: Band{Diff: 8}}
+		oracle := NLWJ(arr, base)
+		cfg := base
+		cfg.Index = IndexPIMTree
+		cfg.PIM = smallPIM()
+		got := IBWJSerial(arr, cfg)
+		if got.Matches != oracle.Matches {
+			t.Fatalf("ws=%d: matches = %d, oracle = %d", ws, got.Matches, oracle.Matches)
+		}
+	}
+}
+
+func TestSerialMergesHappen(t *testing.T) {
+	arr := twoWayArrivals(4000, 4, 4096)
+	cfg := SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 4}, Index: IndexPIMTree, PIM: smallPIM()}
+	st := IBWJSerial(arr, cfg)
+	if st.Merges == 0 {
+		t.Fatal("PIM-Tree never merged over 4000 tuples at m=0.5, w=256")
+	}
+	if st.MergeTime <= 0 {
+		t.Fatal("merge time not accounted")
+	}
+}
+
+func TestStepCostsAccounting(t *testing.T) {
+	arr := twoWayArrivals(3000, 5, 4096)
+	for _, kind := range []IndexKind{IndexBTree, IndexIMTree, IndexPIMTree} {
+		cfg := SerialConfig{WR: 256, WS: 256, Band: Band{Diff: 8}, Index: kind, IM: smallIM(), PIM: smallPIM()}
+		st := StepCosts(arr, cfg)
+		if st.Tuples() != uint64(len(arr)) {
+			t.Fatalf("%v: ticks = %d", kind, st.Tuples())
+		}
+		if st.PerTuple(0) < 0 {
+			t.Fatalf("%v: negative search cost", kind)
+		}
+		if kind == IndexBTree && st.Total(4) != 0 {
+			t.Fatalf("B+-Tree should have zero merge cost, got %v", st.Total(4))
+		}
+		if kind != IndexBTree && st.Total(3) != 0 {
+			t.Fatalf("%v should have zero delete cost, got %v", kind, st.Total(3))
+		}
+	}
+}
+
+// Brute-force time-window join oracle: tuple i (ts=i) matches opposite
+// tuples j < i with i-j < span.
+func timeOracle(arr []stream.Arrival, span uint64, band Band) uint64 {
+	var matches uint64
+	for i, a := range arr {
+		for j := i - 1; j >= 0 && uint64(i-j) < span; j-- {
+			b := arr[j]
+			if b.Stream != a.Stream && band.Matches(a.Key, b.Key) {
+				matches++
+			}
+		}
+	}
+	return matches
+}
+
+func TestIBWJTimeMatchesOracle(t *testing.T) {
+	arr := twoWayArrivals(2500, 6, 2048)
+	band := Band{Diff: 6}
+	for _, span := range []uint64{50, 333, 1000} {
+		want := timeOracle(arr, span, band)
+		got := IBWJTime(arr, span, 1, band, nil)
+		if got.Matches != want {
+			t.Fatalf("span=%d: matches = %d, oracle = %d", span, got.Matches, want)
+		}
+	}
+}
+
+func TestIBWJTimeSinkOrder(t *testing.T) {
+	arr := twoWayArrivals(1000, 8, 1024)
+	n := 0
+	IBWJTime(arr, 100, 1, Band{Diff: 10}, func(uint8, uint64, uint64) { n++ })
+	want := timeOracle(arr, 100, Band{Diff: 10})
+	if uint64(n) != want {
+		t.Fatalf("sink saw %d results, oracle %d", n, want)
+	}
+}
+
+func TestSerialConfigValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero WR":  func() { NLWJ(nil, SerialConfig{WR: 0, WS: 1}) },
+		"zero WS":  func() { NLWJ(nil, SerialConfig{WR: 1, WS: 0}) },
+		"bad kind": func() { IBWJSerial(nil, SerialConfig{WR: 1, WS: 1, Index: IndexKind(99)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkSerialIBWJ(b *testing.B) {
+	for _, kind := range []IndexKind{IndexBTree, IndexIMTree, IndexPIMTree} {
+		b.Run(fmt.Sprint(kind), func(b *testing.B) {
+			arr := twoWayArrivals(b.N+1, 1, 1<<20)
+			cfg := SerialConfig{WR: 1 << 14, WS: 1 << 14, Band: Band{Diff: 32},
+				Index: kind, IM: core.IMTreeConfig{MergeRatio: 0.125}, PIM: core.PIMTreeConfig{MergeRatio: 0.125}}
+			b.ResetTimer()
+			IBWJSerial(arr[:b.N], cfg)
+		})
+	}
+}

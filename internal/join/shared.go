@@ -1,0 +1,623 @@
+package join
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimtree/internal/bwtree"
+	"pimtree/internal/core"
+	"pimtree/internal/kv"
+	"pimtree/internal/metrics"
+	"pimtree/internal/stream"
+	"pimtree/internal/window"
+)
+
+// SharedConfig configures the parallel IBWJ over shared indexes (Section 4):
+// an arbitrary number of worker threads pull fixed-size tasks from a shared
+// queue, search and update shared per-stream indexes, and propagate results
+// in arrival order.
+type SharedConfig struct {
+	Threads  int  // worker goroutines (default 1)
+	TaskSize int  // tuples per task acquisition (default 8, Figure 10c/d)
+	WR, WS   int  // window lengths
+	Band     Band // band predicate
+	Self     bool // self-join: one stream, one window, one index
+
+	Index IndexKind          // IndexPIMTree or IndexBwTree
+	PIM   core.PIMTreeConfig // PIM-Tree knobs (merge ratio, DI, ...)
+
+	// BlockingMerge switches the PIM-Tree maintenance from the two-phase
+	// non-blocking merge of Section 4.2 to a stop-the-world merge
+	// (the "blocking merge" series of Figure 13c).
+	BlockingMerge bool
+
+	Sink    MatchSink                // optional ordered result sink
+	Latency *metrics.LatencyRecorder // optional latency sampling (Fig 10d)
+
+	// ChunkTuples, when positive, records a timestamp every time that many
+	// tuples have been propagated, yielding the throughput-over-time series
+	// of Figure 13b in Stats.Chunks.
+	ChunkTuples int
+}
+
+// ChunkStat is the throughput of one propagated chunk (Figure 13b).
+type ChunkStat struct {
+	Tuples int
+	Mtps   float64
+}
+
+// tupleState is the per-tuple completion record, padded to a cache line so
+// workers completing adjacent tuples do not false-share.
+type tupleState struct {
+	count     int64
+	completed atomic.Bool
+	_         [64 - 9]byte
+}
+
+// sharedRun is the state shared by all workers of one parallel join.
+type sharedRun struct {
+	cfg      SharedConfig
+	arrivals []stream.Arrival
+	wins     [2]*window.Concurrent
+	wlen     [2]uint64
+	pim      [2]atomic.Pointer[core.PIMTree]
+	bw       [2]*bwtree.Tree
+
+	// Task queue (Section 4.1). Admission to the windows happens at task
+	// acquisition under mu, so queue order is arrival order.
+	mu            sync.Mutex
+	cond          *sync.Cond
+	nextAssign    int
+	activeTasks   int
+	assignBlocked bool
+	indexUpdates  bool // false during merge phase 1
+
+	// Per-tuple bookkeeping, indexed by arrival position. Count and
+	// completion flag live in one cache-line-padded slot per tuple: they
+	// are written by the processing worker and read by the propagation
+	// holder, and unpadded arrays of adjacent tuples (different workers)
+	// false-share badly.
+	tupleSeq  []uint64
+	oppTL     []uint64 // opposite-window head at admission (tl snapshot)
+	admitNano []int64
+	state     []tupleState
+	results   [][]uint64 // matched sequences, only when a sink is set
+
+	// Ordered result propagation (try-lock protocol of Section 4.1).
+	propLock atomic.Bool
+	propHead int
+	matches  uint64 // owned by the propagation lock holder
+
+	// Eager-delete safety (Bw-Tree): workerTe[t][sid] is the smallest te of
+	// worker t's current task against stream sid's window (maxUint64 when
+	// idle), written under mu. delCursor[sid] is the next sequence of
+	// stream sid awaiting deletion from its index; workers claim sequences
+	// up to the minimum published te so that no in-flight probe loses a
+	// window tuple to a concurrent delete.
+	workerTe  [][2]uint64
+	delCursor [2]atomic.Uint64
+
+	mergeFlag atomic.Bool
+	merges    int
+	mergeTime time.Duration
+
+	chunkNanos []int64 // per-chunk completion times, owned by the propagation lock holder
+	startNano  int64
+}
+
+// backlogNum/backlogDen bound phase-1 admissions to w/4 unindexed tuples per
+// window: every lookup linearly scans the unindexed region (Figure 6), so an
+// unbounded backlog makes merge-phase processing quadratic. Stalling
+// admission instead keeps the linear component proportional to the merge
+// duration, matching the paper's observation that phase-1 scans merely
+// "become more expensive".
+const (
+	backlogNum = 1
+	backlogDen = 4
+)
+
+// RunShared executes the parallel shared-index window join over the arrival
+// sequence and returns its statistics. Results are propagated in arrival
+// order; the optional sink observes them in that order.
+func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.TaskSize <= 0 {
+		cfg.TaskSize = 8
+	}
+	if cfg.WR <= 0 {
+		panic("join: WR must be positive")
+	}
+	if cfg.Self {
+		cfg.WS = cfg.WR
+	}
+	if cfg.WS <= 0 {
+		panic("join: WS must be positive")
+	}
+	inflight := cfg.Threads*cfg.TaskSize + 64
+	if cfg.Index == IndexBwTree && (cfg.WR <= 2*inflight || cfg.WS <= 2*inflight) {
+		panic(fmt.Sprintf("join: windows (%d,%d) too small for %d in-flight tuples with eager deletes",
+			cfg.WR, cfg.WS, inflight))
+	}
+
+	r := &sharedRun{
+		cfg:      cfg,
+		arrivals: arrivals,
+		wlen:     [2]uint64{uint64(cfg.WR), uint64(cfg.WS)},
+		tupleSeq: make([]uint64, len(arrivals)),
+		oppTL:    make([]uint64, len(arrivals)),
+		state:    make([]tupleState, len(arrivals)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.indexUpdates = true
+	r.workerTe = make([][2]uint64, cfg.Threads)
+	for t := range r.workerTe {
+		r.workerTe[t] = [2]uint64{^uint64(0), ^uint64(0)}
+	}
+	if cfg.Sink != nil {
+		r.results = make([][]uint64, len(arrivals))
+	}
+	if cfg.Latency != nil {
+		r.admitNano = make([]int64, len(arrivals))
+	}
+	r.wins[0] = window.NewConcurrent(cfg.WR, inflight)
+	if cfg.Self {
+		r.wins[1] = r.wins[0]
+	} else {
+		r.wins[1] = window.NewConcurrent(cfg.WS, inflight)
+	}
+	switch cfg.Index {
+	case IndexPIMTree:
+		r.pim[0].Store(core.NewPIMTree(cfg.WR, cfg.PIM))
+		if cfg.Self {
+			r.pim[1].Store(r.pim[0].Load())
+		} else {
+			r.pim[1].Store(core.NewPIMTree(cfg.WS, cfg.PIM))
+		}
+	case IndexBwTree:
+		r.bw[0] = bwtree.New(cfg.WR, bwtree.Config{})
+		if cfg.Self {
+			r.bw[1] = r.bw[0]
+		} else {
+			r.bw[1] = bwtree.New(cfg.WS, bwtree.Config{})
+		}
+	default:
+		panic("join: shared join supports PIM-Tree and Bw-Tree indexes")
+	}
+
+	start := time.Now()
+	r.startNano = start.UnixNano()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.worker(id)
+		}(t)
+	}
+	wg.Wait()
+	// Drain any results the last workers could not propagate.
+	r.propagate(time.Now().UnixNano())
+	elapsed := time.Since(start)
+
+	st := Stats{
+		Tuples:    len(arrivals),
+		Matches:   r.matches,
+		Elapsed:   elapsed,
+		Merges:    r.merges,
+		MergeTime: r.mergeTime,
+	}
+	if cfg.Latency != nil {
+		st.Latency = cfg.Latency.Summarize()
+	}
+	if cfg.ChunkTuples > 0 {
+		prev := r.startNano
+		for _, nano := range r.chunkNanos {
+			d := time.Duration(nano - prev)
+			st.Chunks = append(st.Chunks, ChunkStat{
+				Tuples: cfg.ChunkTuples,
+				Mtps:   metrics.Mtps(cfg.ChunkTuples, d),
+			})
+			prev = nano
+		}
+	}
+	return st
+}
+
+// streamID maps an arrival's stream to a window/index slot (self-joins fold
+// everything onto slot 0).
+func (r *sharedRun) streamID(s uint8) uint8 {
+	if r.cfg.Self {
+		return 0
+	}
+	return s
+}
+
+func (r *sharedRun) oppositeID(s uint8) uint8 {
+	if r.cfg.Self {
+		return 0
+	}
+	return opposite(s)
+}
+
+// backlogExceeded reports whether a window's unindexed region has outgrown
+// the admission bound (only reachable during merge phase 1).
+func (r *sharedRun) backlogExceeded() bool {
+	for i := 0; i < 2; i++ {
+		if r.wins[i].Backlog() > backlogNum*r.wlen[i]/backlogDen {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire implements task acquisition (Section 4.1): take the next TaskSize
+// tuples from the queue, admit them into their windows (recording the tl
+// snapshot per tuple), publish the task's window boundaries for
+// delete-safety, and mark the task active. Returns lo >= hi when no work
+// remains.
+func (r *sharedRun) acquire(worker int) (lo, hi int, updates bool, admitNano int64) {
+	r.mu.Lock()
+	for (r.assignBlocked || (!r.indexUpdates && r.backlogExceeded())) && r.nextAssign < len(r.arrivals) {
+		r.cond.Wait()
+	}
+	if r.nextAssign >= len(r.arrivals) {
+		r.mu.Unlock()
+		return 0, 0, false, 0
+	}
+	lo = r.nextAssign
+	hi = lo + r.cfg.TaskSize
+	if hi > len(r.arrivals) {
+		hi = len(r.arrivals)
+	}
+	r.nextAssign = hi
+	r.activeTasks++
+	updates = r.indexUpdates
+	if r.admitNano != nil {
+		admitNano = time.Now().UnixNano()
+	}
+	for i := lo; i < hi; i++ {
+		a := r.arrivals[i]
+		oppID := r.oppositeID(a.Stream)
+		own := r.wins[r.streamID(a.Stream)]
+		opp := r.wins[oppID]
+		// tl snapshot before this tuple is published: for self-joins this
+		// excludes the tuple itself from its own result set.
+		tl := opp.Head()
+		r.oppTL[i] = tl
+		_, seq := own.Append(a.Key)
+		r.tupleSeq[i] = seq
+		if r.admitNano != nil {
+			r.admitNano[i] = admitNano
+		}
+		// Publish this probe's te so no concurrent eager delete removes a
+		// tuple still inside its window (smallest te per stream wins).
+		te := uint64(0)
+		if tl > r.wlen[oppID] {
+			te = tl - r.wlen[oppID]
+		}
+		if te < r.workerTe[worker][oppID] {
+			r.workerTe[worker][oppID] = te
+		}
+	}
+	r.mu.Unlock()
+	return lo, hi, updates, admitNano
+}
+
+// finishTask retires an active task, clears its published window boundaries,
+// computes the safe eager-delete bounds, and wakes a merge coordinator
+// waiting for the drain barrier. The returned bounds are the exclusive
+// per-stream sequence limits up to which expired tuples may be deleted.
+func (r *sharedRun) finishTask(worker int) (bounds [2]uint64) {
+	r.mu.Lock()
+	r.workerTe[worker] = [2]uint64{^uint64(0), ^uint64(0)}
+	if r.cfg.Index == IndexBwTree {
+		for sid := 0; sid < 2; sid++ {
+			head := r.wins[sid].Head()
+			if head <= r.wlen[sid] {
+				bounds[sid] = 0
+				continue
+			}
+			b := head - r.wlen[sid]
+			for t := range r.workerTe {
+				if te := r.workerTe[t][sid]; te < b {
+					b = te
+				}
+			}
+			bounds[sid] = b
+		}
+	}
+	r.activeTasks--
+	if r.activeTasks == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	return bounds
+}
+
+// expireBw claims and deletes expired tuples of stream sid up to bound
+// (exclusive). Claims go through an atomic cursor so each expired tuple is
+// deleted exactly once across workers.
+func (r *sharedRun) expireBw(sid int, bound uint64) {
+	win := r.wins[sid]
+	for {
+		c := r.delCursor[sid].Load()
+		if c >= bound {
+			return
+		}
+		if !r.delCursor[sid].CompareAndSwap(c, c+1) {
+			continue
+		}
+		r.bw[sid].Delete(kv.Pair{Key: win.KeyAt(c), Ref: win.RefOf(c)})
+	}
+}
+
+// worker is the main loop of Section 4.1: acquire, generate results, update
+// the index, propagate, and volunteer for merging.
+func (r *sharedRun) worker(id int) {
+	for {
+		lo, hi, updates, _ := r.acquire(id)
+		if lo >= hi {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			r.process(i)
+			if updates {
+				r.indexUpdate(i)
+			}
+		}
+		if updates {
+			// Edge advancement amortized per task: tuples were marked
+			// indexed individually, one guarded walk moves the edge past
+			// all of them.
+			r.wins[0].TryAdvanceEdge()
+			if !r.cfg.Self {
+				r.wins[1].TryAdvanceEdge()
+			}
+		}
+		bounds := r.finishTask(id)
+		if r.cfg.Index == IndexBwTree {
+			for sid := 0; sid < 2; sid++ {
+				if r.cfg.Self && sid == 1 {
+					break
+				}
+				r.expireBw(sid, bounds[sid])
+			}
+		}
+		r.propagate(time.Now().UnixNano())
+		r.maybeMerge()
+	}
+}
+
+// query runs a range search on the shared index of stream slot sid.
+func (r *sharedRun) query(sid uint8, lo, hi uint32, emit func(kv.Pair) bool) {
+	if r.cfg.Index == IndexPIMTree {
+		r.pim[sid].Load().Query(lo, hi, emit)
+		return
+	}
+	r.bw[sid].Query(lo, hi, emit)
+}
+
+// process implements result generation (Section 4.1): an index lookup
+// restricted to sequence numbers before the edge snapshot, plus a linear
+// window scan from the edge to the tl snapshot (Figure 6).
+func (r *sharedRun) process(i int) {
+	a := r.arrivals[i]
+	oppID := r.oppositeID(a.Stream)
+	opp := r.wins[oppID]
+	oppW := r.wlen[oppID]
+	lo, hi := r.cfg.Band.Range(a.Key)
+	tl := r.oppTL[i]
+	te := uint64(0)
+	if tl > oppW {
+		te = tl - oppW
+	}
+	edgeSnap := opp.Edge()
+	if edgeSnap > tl {
+		edgeSnap = tl
+	}
+
+	var count int64
+	var matched []uint64
+	record := func(seq uint64) {
+		count++
+		if r.results != nil {
+			matched = append(matched, seq)
+		}
+	}
+
+	// Index part: accept entries strictly before the edge snapshot (later
+	// ones are covered by the linear scan, avoiding duplicates) and inside
+	// [te, tl) (window filtering of expired or too-new entries).
+	r.query(oppID, lo, hi, func(p kv.Pair) bool {
+		key2, seq2, ok := opp.Get(p.Ref)
+		if ok && key2 == p.Key && seq2 >= te && seq2 < edgeSnap {
+			record(seq2)
+		}
+		return true
+	})
+	// Linear part: the non-indexed window region.
+	from := edgeSnap
+	if from < te {
+		from = te
+	}
+	opp.ScanRange(from, tl, func(key uint32, seq uint64) bool {
+		if key >= lo && key <= hi {
+			record(seq)
+		}
+		return true
+	})
+
+	r.state[i].count = count
+	if r.results != nil {
+		r.results[i] = matched
+	}
+	r.state[i].completed.Store(true)
+}
+
+// indexUpdate implements step 3 (Section 4.1): insert the tuple into its
+// stream's index, mark it indexed, and try to advance the edge tuple.
+// Eager deletes for the Bw-Tree are batched per task in expireBw, bounded by
+// the smallest active window boundary so in-flight probes never lose tuples.
+func (r *sharedRun) indexUpdate(i int) {
+	a := r.arrivals[i]
+	sid := r.streamID(a.Stream)
+	own := r.wins[sid]
+	seq := r.tupleSeq[i]
+	p := kv.Pair{Key: a.Key, Ref: own.RefOf(seq)}
+	if r.cfg.Index == IndexPIMTree {
+		r.pim[sid].Load().Insert(p)
+	} else {
+		r.bw[sid].Insert(p)
+	}
+	own.MarkIndexed(seq)
+}
+
+// propagate implements ordered result propagation (Section 4.1): under a
+// try-lock, flush the results of every completed tuple at the queue head in
+// arrival order.
+func (r *sharedRun) propagate(nowNano int64) {
+	if !r.propLock.CompareAndSwap(false, true) {
+		return
+	}
+	for r.propHead < len(r.arrivals) && r.state[r.propHead].completed.Load() {
+		h := r.propHead
+		r.matches += uint64(r.state[h].count)
+		if r.cfg.Sink != nil {
+			a := r.arrivals[h]
+			for _, mseq := range r.results[h] {
+				r.cfg.Sink(a.Stream, r.tupleSeq[h], mseq)
+			}
+		}
+		if r.cfg.Latency != nil {
+			r.cfg.Latency.Record(time.Duration(nowNano - r.admitNano[h]))
+		}
+		r.propHead++
+		if r.cfg.ChunkTuples > 0 && r.propHead%r.cfg.ChunkTuples == 0 {
+			r.chunkNanos = append(r.chunkNanos, time.Now().UnixNano())
+		}
+	}
+	r.propLock.Store(false)
+}
+
+// maybeMerge volunteers this worker as the merging thread when a PIM-Tree
+// needs maintenance (Section 4.2).
+func (r *sharedRun) maybeMerge() {
+	if r.cfg.Index != IndexPIMTree {
+		return
+	}
+	for sid := 0; sid < 2; sid++ {
+		if r.cfg.Self && sid == 1 {
+			break
+		}
+		if !r.pim[sid].Load().NeedsMerge() {
+			continue
+		}
+		if !r.mergeFlag.CompareAndSwap(false, true) {
+			return // someone else is merging
+		}
+		if r.pim[sid].Load().NeedsMerge() { // re-check under the flag
+			if r.cfg.BlockingMerge {
+				r.blockingMerge(sid)
+			} else {
+				r.nonblockingMerge(sid)
+			}
+		}
+		r.mergeFlag.Store(false)
+	}
+}
+
+// barrier blocks task assignment and waits until all active tasks drain,
+// then runs fn while the queue is quiescent, and finally resumes assignment.
+func (r *sharedRun) barrier(fn func()) {
+	r.mu.Lock()
+	r.assignBlocked = true
+	for r.activeTasks > 0 {
+		r.cond.Wait()
+	}
+	fn()
+	r.assignBlocked = false
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// liveFn builds the merge liveness predicate for window slot sid: an index
+// entry survives if its slot still holds the same tuple and that tuple is
+// inside the window relative to the head snapshot.
+func (r *sharedRun) liveFn(sid int) func(kv.Pair) bool {
+	win := r.wins[sid]
+	head := win.Head()
+	w := r.wlen[sid]
+	return func(p kv.Pair) bool {
+		_, seq, ok := win.Get(p.Ref)
+		return ok && seq < head && head-seq <= w
+	}
+}
+
+// nonblockingMerge is the two-phase protocol of Section 4.2 and Figure 7.
+func (r *sharedRun) nonblockingMerge(sid int) {
+	start := time.Now()
+	// Phase 1: drain active tasks, disable index updates, then build the
+	// new PIM-Tree while workers keep joining without index updates.
+	r.barrier(func() { r.indexUpdates = false })
+	old := r.pim[sid].Load()
+	newIdx, _ := old.BuildMerged(r.liveFn(sid))
+
+	// Phase 2: drain again, swap the index in, re-enable updates, and
+	// snapshot the pending (processed-but-unindexed) ranges.
+	type pend struct{ lo, hi uint64 }
+	var pending [2]pend
+	r.barrier(func() {
+		r.pim[sid].Store(newIdx)
+		if r.cfg.Self {
+			r.pim[1].Store(newIdx)
+		}
+		r.indexUpdates = true
+		for wi := 0; wi < 2; wi++ {
+			if r.cfg.Self && wi == 1 {
+				break
+			}
+			pending[wi] = pend{lo: r.wins[wi].Edge(), hi: r.wins[wi].Head()}
+		}
+	})
+	// Apply pending updates concurrently with resumed workers.
+	for wi := 0; wi < 2; wi++ {
+		if r.cfg.Self && wi == 1 {
+			break
+		}
+		win := r.wins[wi]
+		for seq := pending[wi].lo; seq < pending[wi].hi; seq++ {
+			p := kv.Pair{Key: win.KeyAt(seq), Ref: win.RefOf(seq)}
+			if r.cfg.Index == IndexPIMTree {
+				r.pim[wi].Load().Insert(p)
+			}
+			win.MarkIndexed(seq)
+		}
+		win.TryAdvanceEdge()
+	}
+	r.mu.Lock()
+	r.merges++
+	r.mergeTime += time.Since(start)
+	r.mu.Unlock()
+}
+
+// blockingMerge stops the world for the duration of the merge (Figure 13c's
+// "blocking merge" series).
+func (r *sharedRun) blockingMerge(sid int) {
+	start := time.Now()
+	r.barrier(func() {
+		old := r.pim[sid].Load()
+		newIdx, _ := old.BuildMerged(r.liveFn(sid))
+		r.pim[sid].Store(newIdx)
+		if r.cfg.Self {
+			r.pim[1].Store(newIdx)
+		}
+	})
+	r.mu.Lock()
+	r.merges++
+	r.mergeTime += time.Since(start)
+	r.mu.Unlock()
+}

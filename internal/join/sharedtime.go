@@ -1,0 +1,368 @@
+package join
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimtree/internal/core"
+	"pimtree/internal/kv"
+	"pimtree/internal/window"
+)
+
+// TimedArrival is one tuple arrival with an event timestamp (any
+// non-decreasing uint64 unit).
+type TimedArrival struct {
+	Stream uint8
+	Key    uint32
+	TS     uint64
+}
+
+// SharedTimeConfig configures the parallel time-window band join — the
+// time-based variant of the Section 4 algorithm. As the paper observes, the
+// count-based tl/te boundary recording is unnecessary here: each probe
+// filters opposite tuples by timestamp (ts within Span before its own).
+type SharedTimeConfig struct {
+	Threads  int
+	TaskSize int
+	Span     uint64 // window duration in timestamp units
+	MaxLive  int    // upper bound on simultaneously live tuples per window
+	Band     Band
+	Self     bool
+	PIM      core.PIMTreeConfig
+	Sink     MatchSink
+}
+
+// sharedTimeRun mirrors sharedRun for the time-based protocol. Only the
+// PIM-Tree backend is supported (the delta-merge disposal fits time expiry
+// naturally; eager-delete indexes would need the count-based te machinery).
+type sharedTimeRun struct {
+	cfg      SharedTimeConfig
+	arrivals []TimedArrival
+	wins     [2]*window.TimeConcurrent
+	pim      [2]atomic.Pointer[core.PIMTree]
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	nextAssign    int
+	activeTasks   int
+	assignBlocked bool
+	indexUpdates  bool
+
+	tupleSeq []uint64
+	oppTL    []uint64 // opposite head at admission: bounds the linear scan
+	state    []tupleState
+	results  [][]uint64
+
+	propLock atomic.Bool
+	propHead int
+	matches  uint64
+
+	mergeFlag atomic.Bool
+	merges    int
+	mergeTime time.Duration
+}
+
+// RunSharedTime executes the parallel shared-index time-window band join.
+// Timestamps must be non-decreasing across the arrival sequence (event-time
+// order, as in the serial time join). Results propagate in arrival order.
+func RunSharedTime(arrivals []TimedArrival, cfg SharedTimeConfig) Stats {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.TaskSize <= 0 {
+		cfg.TaskSize = 8
+	}
+	if cfg.Span == 0 {
+		panic("join: time span must be positive")
+	}
+	if cfg.MaxLive <= 0 {
+		panic("join: MaxLive must be positive")
+	}
+	inflight := cfg.Threads*cfg.TaskSize + 64
+
+	r := &sharedTimeRun{
+		cfg:      cfg,
+		arrivals: arrivals,
+		tupleSeq: make([]uint64, len(arrivals)),
+		oppTL:    make([]uint64, len(arrivals)),
+		state:    make([]tupleState, len(arrivals)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.indexUpdates = true
+	if cfg.Sink != nil {
+		r.results = make([][]uint64, len(arrivals))
+	}
+	r.wins[0] = window.NewTimeConcurrent(cfg.Span, cfg.MaxLive, inflight)
+	if cfg.Self {
+		r.wins[1] = r.wins[0]
+	} else {
+		r.wins[1] = window.NewTimeConcurrent(cfg.Span, cfg.MaxLive, inflight)
+	}
+	r.pim[0].Store(core.NewPIMTree(cfg.MaxLive, cfg.PIM))
+	if cfg.Self {
+		r.pim[1].Store(r.pim[0].Load())
+	} else {
+		r.pim[1].Store(core.NewPIMTree(cfg.MaxLive, cfg.PIM))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker()
+		}()
+	}
+	wg.Wait()
+	r.propagate()
+	return Stats{
+		Tuples:    len(arrivals),
+		Matches:   r.matches,
+		Elapsed:   time.Since(start),
+		Merges:    r.merges,
+		MergeTime: r.mergeTime,
+	}
+}
+
+func (r *sharedTimeRun) sid(s uint8) uint8 {
+	if r.cfg.Self {
+		return 0
+	}
+	return s
+}
+
+func (r *sharedTimeRun) oppID(s uint8) uint8 {
+	if r.cfg.Self {
+		return 0
+	}
+	return opposite(s)
+}
+
+func (r *sharedTimeRun) backlogExceeded() bool {
+	limit := uint64(r.cfg.MaxLive) * backlogNum / backlogDen
+	for i := 0; i < 2; i++ {
+		if r.wins[i].Backlog() > limit {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *sharedTimeRun) acquire() (lo, hi int, updates bool) {
+	r.mu.Lock()
+	for (r.assignBlocked || (!r.indexUpdates && r.backlogExceeded())) && r.nextAssign < len(r.arrivals) {
+		r.cond.Wait()
+	}
+	if r.nextAssign >= len(r.arrivals) {
+		r.mu.Unlock()
+		return 0, 0, false
+	}
+	lo = r.nextAssign
+	hi = lo + r.cfg.TaskSize
+	if hi > len(r.arrivals) {
+		hi = len(r.arrivals)
+	}
+	r.nextAssign = hi
+	r.activeTasks++
+	updates = r.indexUpdates
+	for i := lo; i < hi; i++ {
+		a := r.arrivals[i]
+		own := r.wins[r.sid(a.Stream)]
+		opp := r.wins[r.oppID(a.Stream)]
+		r.oppTL[i] = opp.Head()
+		_, seq := own.Append(a.Key, a.TS)
+		r.tupleSeq[i] = seq
+	}
+	r.mu.Unlock()
+	return lo, hi, updates
+}
+
+func (r *sharedTimeRun) finishTask() {
+	r.mu.Lock()
+	r.activeTasks--
+	if r.activeTasks == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+func (r *sharedTimeRun) worker() {
+	for {
+		lo, hi, updates := r.acquire()
+		if lo >= hi {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			r.process(i)
+			if updates {
+				r.indexUpdate(i)
+			}
+		}
+		if updates {
+			r.wins[0].TryAdvanceEdge()
+			if !r.cfg.Self {
+				r.wins[1].TryAdvanceEdge()
+			}
+		}
+		r.finishTask()
+		r.propagate()
+		r.maybeMerge()
+	}
+}
+
+// process generates results for tuple i: index lookup filtered by edge
+// snapshot and timestamp, plus a linear scan of the unindexed region — the
+// timestamp filter replaces the count-window's te bound (Section 4.1).
+func (r *sharedTimeRun) process(i int) {
+	a := r.arrivals[i]
+	oppID := r.oppID(a.Stream)
+	opp := r.wins[oppID]
+	lo, hi := r.cfg.Band.Range(a.Key)
+	tl := r.oppTL[i]
+	// Live bound: opposite tuples with ts > myTS - span.
+	var minTS uint64
+	if a.TS >= r.cfg.Span {
+		minTS = a.TS - r.cfg.Span + 1
+	}
+	edgeSnap := opp.Edge()
+	if edgeSnap > tl {
+		edgeSnap = tl
+	}
+
+	var count int64
+	var matched []uint64
+	record := func(seq uint64) {
+		count++
+		if r.results != nil {
+			matched = append(matched, seq)
+		}
+	}
+	r.pim[oppID].Load().Query(lo, hi, func(p kv.Pair) bool {
+		key2, ts2, seq2, ok := opp.Get(p.Ref)
+		if ok && key2 == p.Key && seq2 < edgeSnap && ts2 >= minTS && ts2 <= a.TS {
+			record(seq2)
+		}
+		return true
+	})
+	opp.ScanRange(edgeSnap, tl, func(key uint32, ts, seq uint64) bool {
+		if key >= lo && key <= hi && ts >= minTS {
+			record(seq)
+		}
+		return true
+	})
+
+	r.state[i].count = count
+	if r.results != nil {
+		r.results[i] = matched
+	}
+	r.state[i].completed.Store(true)
+}
+
+func (r *sharedTimeRun) indexUpdate(i int) {
+	a := r.arrivals[i]
+	sid := r.sid(a.Stream)
+	own := r.wins[sid]
+	seq := r.tupleSeq[i]
+	r.pim[sid].Load().Insert(kv.Pair{Key: a.Key, Ref: own.RefOf(seq)})
+	own.MarkIndexed(seq)
+}
+
+func (r *sharedTimeRun) propagate() {
+	if !r.propLock.CompareAndSwap(false, true) {
+		return
+	}
+	for r.propHead < len(r.arrivals) && r.state[r.propHead].completed.Load() {
+		h := r.propHead
+		r.matches += uint64(r.state[h].count)
+		if r.cfg.Sink != nil {
+			a := r.arrivals[h]
+			for _, mseq := range r.results[h] {
+				r.cfg.Sink(a.Stream, r.tupleSeq[h], mseq)
+			}
+		}
+		r.propHead++
+	}
+	r.propLock.Store(false)
+}
+
+func (r *sharedTimeRun) barrier(fn func()) {
+	r.mu.Lock()
+	r.assignBlocked = true
+	for r.activeTasks > 0 {
+		r.cond.Wait()
+	}
+	fn()
+	r.assignBlocked = false
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// liveFn: an index entry survives the merge if its slot is intact and its
+// timestamp is within span of the newest appended timestamp.
+func (r *sharedTimeRun) liveFn(sid int) func(kv.Pair) bool {
+	win := r.wins[sid]
+	now := win.MaxTS()
+	span := r.cfg.Span
+	return func(p kv.Pair) bool {
+		_, ts, _, ok := win.Get(p.Ref)
+		return ok && now-ts < span
+	}
+}
+
+func (r *sharedTimeRun) maybeMerge() {
+	for sid := 0; sid < 2; sid++ {
+		if r.cfg.Self && sid == 1 {
+			break
+		}
+		if !r.pim[sid].Load().NeedsMerge() {
+			continue
+		}
+		if !r.mergeFlag.CompareAndSwap(false, true) {
+			return
+		}
+		if r.pim[sid].Load().NeedsMerge() {
+			r.nonblockingMerge(sid)
+		}
+		r.mergeFlag.Store(false)
+	}
+}
+
+func (r *sharedTimeRun) nonblockingMerge(sid int) {
+	start := time.Now()
+	r.barrier(func() { r.indexUpdates = false })
+	old := r.pim[sid].Load()
+	newIdx, _ := old.BuildMerged(r.liveFn(sid))
+
+	type pend struct{ lo, hi uint64 }
+	var pending [2]pend
+	r.barrier(func() {
+		r.pim[sid].Store(newIdx)
+		if r.cfg.Self {
+			r.pim[1].Store(newIdx)
+		}
+		r.indexUpdates = true
+		for wi := 0; wi < 2; wi++ {
+			if r.cfg.Self && wi == 1 {
+				break
+			}
+			pending[wi] = pend{lo: r.wins[wi].Edge(), hi: r.wins[wi].Head()}
+		}
+	})
+	for wi := 0; wi < 2; wi++ {
+		if r.cfg.Self && wi == 1 {
+			break
+		}
+		win := r.wins[wi]
+		for seq := pending[wi].lo; seq < pending[wi].hi; seq++ {
+			r.pim[wi].Load().Insert(kv.Pair{Key: win.KeyAt(seq), Ref: win.RefOf(seq)})
+			win.MarkIndexed(seq)
+		}
+		win.TryAdvanceEdge()
+	}
+	r.mu.Lock()
+	r.merges++
+	r.mergeTime += time.Since(start)
+	r.mu.Unlock()
+}

@@ -1,0 +1,235 @@
+// Package metrics provides the measurement plumbing for the reproduction:
+//
+//   - a software memory-traffic tracer that substitutes for the hardware
+//     memory-bandwidth counters used in the paper's Figure 11d (see DESIGN.md,
+//     substitution table),
+//   - per-step cost accumulators for the IBWJ step breakdown (Figure 9b),
+//   - a latency recorder with percentiles (Figure 10d),
+//   - small helpers for expressing throughput in million tuples per second,
+//     the unit used by every figure in the paper.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing enables the software memory-traffic tracer. It must only be toggled
+// while no traced operation is running (the harness sets it before starting
+// worker goroutines and reads counters after joining them, so the accesses
+// are ordered by goroutine creation/join).
+var Tracing bool
+
+var (
+	loadBytes  atomic.Uint64
+	storeBytes atomic.Uint64
+)
+
+// Load records n bytes of data-structure reads when tracing is enabled.
+func Load(n int) {
+	if Tracing {
+		loadBytes.Add(uint64(n))
+	}
+}
+
+// Store records n bytes of data-structure writes when tracing is enabled.
+func Store(n int) {
+	if Tracing {
+		storeBytes.Add(uint64(n))
+	}
+}
+
+// ResetTraffic zeroes the load/store counters.
+func ResetTraffic() {
+	loadBytes.Store(0)
+	storeBytes.Store(0)
+}
+
+// Traffic is a snapshot of traced memory traffic.
+type Traffic struct {
+	LoadBytes  uint64
+	StoreBytes uint64
+}
+
+// SnapshotTraffic returns the current load/store byte counts.
+func SnapshotTraffic() Traffic {
+	return Traffic{LoadBytes: loadBytes.Load(), StoreBytes: storeBytes.Load()}
+}
+
+// Bandwidth converts a byte count observed over an elapsed duration into
+// gigabytes per second, the unit of Figure 11d.
+func Bandwidth(bytes uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e9
+}
+
+// Step identifies one of the five per-tuple IBWJ cost components measured in
+// Figure 9b.
+type Step int
+
+// The five steps of Figure 9b. Search is the index traversal to the first
+// matching leaf position, Scan the linear walk over matching entries, Insert
+// and Delete the index updates, and Merge the (amortized) delta-merge cost.
+const (
+	StepSearch Step = iota
+	StepScan
+	StepInsert
+	StepDelete
+	StepMerge
+	numSteps
+)
+
+// String returns the figure label of the step.
+func (s Step) String() string {
+	switch s {
+	case StepSearch:
+		return "search"
+	case StepScan:
+		return "scan"
+	case StepInsert:
+		return "insert"
+	case StepDelete:
+		return "delete"
+	case StepMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
+
+// StepTimer accumulates wall time per IBWJ step. It is not safe for
+// concurrent use; the step breakdown experiment is single-threaded, as in the
+// paper.
+type StepTimer struct {
+	total [numSteps]time.Duration
+	count uint64
+}
+
+// Add charges d to step s.
+func (t *StepTimer) Add(s Step, d time.Duration) { t.total[s] += d }
+
+// Time runs fn and charges its duration to step s.
+func (t *StepTimer) Time(s Step, fn func()) {
+	start := time.Now()
+	fn()
+	t.total[s] += time.Since(start)
+}
+
+// Tick records that one tuple has been fully processed, so per-tuple averages
+// can be derived.
+func (t *StepTimer) Tick() { t.count++ }
+
+// Total returns the accumulated time of step s.
+func (t *StepTimer) Total(s Step) time.Duration { return t.total[s] }
+
+// PerTuple returns the average nanoseconds per processed tuple spent in step
+// s, the y-axis of Figure 9b.
+func (t *StepTimer) PerTuple(s Step) float64 {
+	if t.count == 0 {
+		return 0
+	}
+	return float64(t.total[s].Nanoseconds()) / float64(t.count)
+}
+
+// Tuples returns the number of Tick calls.
+func (t *StepTimer) Tuples() uint64 { return t.count }
+
+// Steps lists all steps in display order.
+func Steps() []Step {
+	return []Step{StepSearch, StepInsert, StepDelete, StepMerge, StepScan}
+}
+
+// LatencyRecorder collects per-tuple latencies (arrival to result
+// propagation) and reports summary statistics. Recording is lock-free via a
+// fixed-capacity reservoir: the parallel join records every Nth tuple to keep
+// the recorder off the critical path.
+type LatencyRecorder struct {
+	samples []time.Duration
+	next    atomic.Uint64
+	every   uint64
+	tick    atomic.Uint64
+}
+
+// NewLatencyRecorder creates a recorder keeping at most capacity samples,
+// recording one of every `every` observations (every <= 1 records all).
+func NewLatencyRecorder(capacity int, every int) *LatencyRecorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &LatencyRecorder{samples: make([]time.Duration, capacity), every: uint64(every)}
+}
+
+// Record stores d if the sampling schedule selects it and capacity remains.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	if r.every > 1 && r.tick.Add(1)%r.every != 0 {
+		return
+	}
+	i := r.next.Add(1) - 1
+	if i < uint64(len(r.samples)) {
+		r.samples[i] = d
+	}
+}
+
+// Count returns the number of stored samples.
+func (r *LatencyRecorder) Count() int {
+	n := r.next.Load()
+	if n > uint64(len(r.samples)) {
+		n = uint64(len(r.samples))
+	}
+	return int(n)
+}
+
+// Summary holds latency statistics in microseconds (the unit of Figure 10d).
+type Summary struct {
+	Count      int
+	MeanMicros float64
+	P50Micros  float64
+	P95Micros  float64
+	P99Micros  float64
+	MaxMicros  float64
+}
+
+// Summarize computes latency statistics over the recorded samples.
+func (r *LatencyRecorder) Summarize() Summary {
+	n := r.Count()
+	if n == 0 {
+		return Summary{}
+	}
+	s := make([]time.Duration, n)
+	copy(s, r.samples[:n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return micros(s[idx])
+	}
+	return Summary{
+		Count:      n,
+		MeanMicros: micros(sum) / float64(n),
+		P50Micros:  pct(0.50),
+		P95Micros:  pct(0.95),
+		P99Micros:  pct(0.99),
+		MaxMicros:  micros(s[n-1]),
+	}
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// Mtps converts a tuple count over an elapsed duration into million tuples
+// per second, the throughput unit used by every figure.
+func Mtps(tuples int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(tuples) / elapsed.Seconds() / 1e6
+}

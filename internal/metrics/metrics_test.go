@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrafficCounting(t *testing.T) {
+	Tracing = true
+	defer func() { Tracing = false }()
+	ResetTraffic()
+	Load(100)
+	Store(40)
+	Load(1)
+	tr := SnapshotTraffic()
+	if tr.LoadBytes != 101 || tr.StoreBytes != 40 {
+		t.Fatalf("traffic = %+v, want 101/40", tr)
+	}
+	ResetTraffic()
+	if tr := SnapshotTraffic(); tr.LoadBytes != 0 || tr.StoreBytes != 0 {
+		t.Fatalf("reset left %+v", tr)
+	}
+}
+
+func TestTrafficDisabled(t *testing.T) {
+	Tracing = false
+	ResetTraffic()
+	Load(100)
+	Store(100)
+	if tr := SnapshotTraffic(); tr.LoadBytes != 0 || tr.StoreBytes != 0 {
+		t.Fatalf("disabled tracer counted %+v", tr)
+	}
+}
+
+func TestTrafficConcurrent(t *testing.T) {
+	Tracing = true
+	defer func() { Tracing = false }()
+	ResetTraffic()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Load(2)
+				Store(3)
+			}
+		}()
+	}
+	wg.Wait()
+	tr := SnapshotTraffic()
+	if tr.LoadBytes != 16000 || tr.StoreBytes != 24000 {
+		t.Fatalf("traffic = %+v, want 16000/24000", tr)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if b := Bandwidth(2e9, time.Second); b < 1.99 || b > 2.01 {
+		t.Fatalf("Bandwidth = %f, want ~2 GB/s", b)
+	}
+	if Bandwidth(100, 0) != 0 {
+		t.Fatal("zero-duration bandwidth should be 0")
+	}
+}
+
+func TestStepTimer(t *testing.T) {
+	var st StepTimer
+	st.Add(StepSearch, 100*time.Nanosecond)
+	st.Add(StepSearch, 100*time.Nanosecond)
+	st.Add(StepInsert, 300*time.Nanosecond)
+	st.Tick()
+	st.Tick()
+	if st.Total(StepSearch) != 200*time.Nanosecond {
+		t.Fatalf("search total = %v", st.Total(StepSearch))
+	}
+	if got := st.PerTuple(StepSearch); got != 100 {
+		t.Fatalf("search per tuple = %f, want 100", got)
+	}
+	if got := st.PerTuple(StepInsert); got != 150 {
+		t.Fatalf("insert per tuple = %f, want 150", got)
+	}
+	if st.Tuples() != 2 {
+		t.Fatalf("tuples = %d", st.Tuples())
+	}
+	var empty StepTimer
+	if empty.PerTuple(StepScan) != 0 {
+		t.Fatal("empty timer should report 0")
+	}
+}
+
+func TestStepTimerTime(t *testing.T) {
+	var st StepTimer
+	st.Time(StepMerge, func() { time.Sleep(time.Millisecond) })
+	if st.Total(StepMerge) < time.Millisecond {
+		t.Fatalf("timed duration %v too small", st.Total(StepMerge))
+	}
+}
+
+func TestStepNames(t *testing.T) {
+	want := map[Step]string{
+		StepSearch: "search", StepScan: "scan", StepInsert: "insert",
+		StepDelete: "delete", StepMerge: "merge",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if len(Steps()) != 5 {
+		t.Fatal("Steps() should list all five")
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	r := NewLatencyRecorder(1000, 1)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MeanMicros < 50 || s.MeanMicros > 51 {
+		t.Fatalf("mean = %f, want ~50.5", s.MeanMicros)
+	}
+	if s.P50Micros < 49 || s.P50Micros > 52 {
+		t.Fatalf("p50 = %f", s.P50Micros)
+	}
+	if s.MaxMicros != 100 {
+		t.Fatalf("max = %f", s.MaxMicros)
+	}
+	if s.P99Micros > s.MaxMicros || s.P50Micros > s.P99Micros {
+		t.Fatal("percentile ordering violated")
+	}
+}
+
+func TestLatencyRecorderSampling(t *testing.T) {
+	r := NewLatencyRecorder(1000, 10)
+	for i := 0; i < 1000; i++ {
+		r.Record(time.Microsecond)
+	}
+	if c := r.Count(); c != 100 {
+		t.Fatalf("sampled count = %d, want 100", c)
+	}
+}
+
+func TestLatencyRecorderCapacity(t *testing.T) {
+	r := NewLatencyRecorder(10, 1)
+	for i := 0; i < 100; i++ {
+		r.Record(time.Microsecond)
+	}
+	if c := r.Count(); c != 10 {
+		t.Fatalf("count = %d, want capacity 10", c)
+	}
+	if NewLatencyRecorder(0, 0).Count() != 0 {
+		t.Fatal("default recorder should be empty")
+	}
+}
+
+func TestLatencyEmptySummary(t *testing.T) {
+	r := NewLatencyRecorder(10, 1)
+	if s := r.Summarize(); s.Count != 0 || s.MeanMicros != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestMtps(t *testing.T) {
+	if m := Mtps(5_000_000, time.Second); m < 4.99 || m > 5.01 {
+		t.Fatalf("Mtps = %f, want ~5", m)
+	}
+	if Mtps(100, 0) != 0 {
+		t.Fatal("zero-duration Mtps should be 0")
+	}
+}

@@ -1,0 +1,188 @@
+// Package model implements the paper's analytical cost model (Section 2 and
+// Section 3, Equations 1–6): closed-form per-tuple processing costs for the
+// index-based window join under each indexing approach. The model exposes
+// the trade-offs the experiments then measure — chain length, partition
+// count, merge ratio, and insertion depth.
+//
+// Costs are expressed in abstract time units; the node-operation constants
+// (lambda terms) default to values proportional to measured nanosecond costs
+// but any consistent unit works, since the figures the model supports are
+// comparative.
+package model
+
+import "math"
+
+// Params carries the notation of Section 2.
+type Params struct {
+	W      float64 // w: sliding window length (tuples)
+	SigmaS float64 // match rate (w * selectivity)
+	TauC   float64 // cost of comparing two tuples
+
+	Fb  float64 // B+-Tree inner fan-out
+	Fib float64 // immutable B+-Tree inner fan-out
+
+	LambdaSearchB  float64 // per-node search cost, B+-Tree
+	LambdaInsertB  float64 // per-node insert cost, B+-Tree
+	LambdaDeleteB  float64 // per-node delete cost, B+-Tree
+	LambdaSearchIB float64 // per-node search cost, immutable B+-Tree
+
+	MergePerElem float64 // merge cost per element (Equation 7 is O(l))
+}
+
+// DefaultParams returns constants roughly calibrated to the nanosecond-scale
+// measurements of Figure 9b.
+func DefaultParams(w float64) Params {
+	return Params{
+		W:              w,
+		SigmaS:         2,
+		TauC:           2,
+		Fb:             16,
+		Fib:            32,
+		LambdaSearchB:  12,
+		LambdaInsertB:  16,
+		LambdaDeleteB:  16,
+		LambdaSearchIB: 8,
+		MergePerElem:   1.5,
+	}
+}
+
+// HeightB returns Hb, the height of a B+-Tree over n records.
+func (p Params) HeightB(n float64) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Max(1, math.Ceil(math.Log(n)/math.Log(p.Fb)))
+}
+
+// HeightIB returns the height of an immutable B+-Tree over n records.
+func (p Params) HeightIB(n float64) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Max(1, math.Ceil(math.Log(n)/math.Log(p.Fib)))
+}
+
+// Cost decomposes a per-tuple processing cost into the paper's three steps
+// (Equation 1): search (including the leaf scan), delete, and insert.
+type Cost struct {
+	Search float64
+	Delete float64
+	Insert float64
+}
+
+// Total returns CT = CS + CD + CI.
+func (c Cost) Total() float64 { return c.Search + c.Delete + c.Insert }
+
+// BTree returns CBJ, the per-tuple cost of IBWJ over a single B+-Tree
+// (Equation 2).
+func (p Params) BTree() Cost {
+	hb := p.HeightB(p.W)
+	return Cost{
+		Search: hb*p.LambdaSearchB + p.SigmaS*p.TauC,
+		Delete: hb * p.LambdaDeleteB,
+		Insert: hb * p.LambdaInsertB,
+	}
+}
+
+// Chain returns CCJ, the per-tuple cost of IBWJ over a chained index of
+// length l (Equation 3).
+func (p Params) Chain(l float64) Cost {
+	if l < 2 {
+		l = 2
+	}
+	hc := math.Max(1, p.HeightB(p.W)-math.Log(l)/math.Log(p.Fb))
+	return Cost{
+		Search: l*hc*p.LambdaSearchB + p.SigmaS*p.TauC*(1+1/(2*(l-1))),
+		Delete: 0, // wholesale subindex disposal
+		Insert: hc * p.LambdaInsertB,
+	}
+}
+
+// RoundRobin returns CRRJ, the per-tuple cost of IBWJ under round-robin
+// partitioning across cores join-cores (Equation 4).
+func (p Params) RoundRobin(cores float64) Cost {
+	if cores < 1 {
+		cores = 1
+	}
+	hp := math.Max(1, p.HeightB(p.W)-math.Log(cores)/math.Log(p.Fb))
+	return Cost{
+		Search: cores*hp*p.LambdaSearchB + p.SigmaS*p.TauC,
+		Delete: hp * p.LambdaDeleteB,
+		Insert: hp * p.LambdaInsertB,
+	}
+}
+
+// IMTree returns CMJ, the per-tuple cost of IBWJ over an IM-Tree with merge
+// ratio m (Equation 5). The mutable component averages m*w/2 elements.
+func (p Params) IMTree(m float64) Cost {
+	m = clampRatio(m)
+	hi := p.HeightB(m * p.W / 2)
+	hs := p.HeightIB(p.W)
+	mergeCost := p.MergePerElem * (1 + m) * p.W // merge both components
+	return Cost{
+		Search: hs*p.LambdaSearchIB + hi*p.LambdaSearchB + p.SigmaS*p.TauC*(1+m/2),
+		Delete: mergeCost / (m * p.W), // amortized per tuple (M/(m*w))
+		Insert: hi * p.LambdaInsertB,
+	}
+}
+
+// PIMTree returns CPJ, the per-tuple cost of IBWJ over a PIM-Tree with merge
+// ratio m and insertion depth di (Equation 6). Each subindex averages
+// m*w / (2 * fib^di) elements.
+func (p Params) PIMTree(m float64, di float64) Cost {
+	m = clampRatio(m)
+	if di < 0 {
+		di = 0
+	}
+	subs := math.Pow(p.Fib, di)
+	hi := p.HeightB(m * p.W / (2 * subs))
+	hs := p.HeightIB(p.W)
+	mergeCost := p.MergePerElem * (1 + m) * p.W
+	return Cost{
+		Search: hs*p.LambdaSearchIB + hi*p.LambdaSearchB + p.SigmaS*p.TauC*(1+m/2),
+		Delete: mergeCost / (m * p.W),
+		Insert: di*p.LambdaSearchIB + hi*p.LambdaInsertB,
+	}
+}
+
+// NLWJ returns the per-tuple cost of the nested-loop window join: a full
+// window scan.
+func (p Params) NLWJ() Cost {
+	return Cost{Search: p.W * p.TauC}
+}
+
+// clampRatio bounds the merge ratio to (0, 1].
+func clampRatio(m float64) float64 {
+	if m <= 0 {
+		return 1.0 / 64
+	}
+	if m > 1 {
+		return 1
+	}
+	return m
+}
+
+// BestChainLength returns the chain length in [2, maxL] minimizing CCJ —
+// the model's explanation for Figure 8b's early optimum.
+func (p Params) BestChainLength(maxL int) int {
+	best, bestCost := 2, math.Inf(1)
+	for l := 2; l <= maxL; l++ {
+		if c := p.Chain(float64(l)).Total(); c < bestCost {
+			best, bestCost = l, c
+		}
+	}
+	return best
+}
+
+// BestMergeRatio scans powers of two in [2^-10, 1] for the m minimizing the
+// IM-Tree cost — the model's counterpart of Figure 9c/d.
+func (p Params) BestMergeRatio() float64 {
+	best, bestCost := 1.0, math.Inf(1)
+	for e := 0; e <= 10; e++ {
+		m := 1.0 / float64(int(1)<<e)
+		if c := p.IMTree(m).Total(); c < bestCost {
+			best, bestCost = m, c
+		}
+	}
+	return best
+}

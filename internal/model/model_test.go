@@ -1,0 +1,144 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeightsGrowWithSize(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if p.HeightB(1<<20) <= p.HeightB(1<<10) {
+		t.Fatal("B+-Tree height not growing with size")
+	}
+	if p.HeightIB(1<<20) > p.HeightB(1<<20) {
+		t.Fatal("immutable tree (higher fan-out) should not be deeper than B+-Tree")
+	}
+	if p.HeightB(0) != 1 || p.HeightB(1) != 1 {
+		t.Fatal("degenerate heights should be 1")
+	}
+}
+
+func TestNLWJDominatedByWindowSize(t *testing.T) {
+	small := DefaultParams(1 << 10).NLWJ().Total()
+	large := DefaultParams(1 << 20).NLWJ().Total()
+	if large/small < 500 {
+		t.Fatalf("NLWJ cost should scale ~linearly with w: %f vs %f", small, large)
+	}
+}
+
+func TestIBWJBeatsNLWJ(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if p.BTree().Total() >= p.NLWJ().Total() {
+		t.Fatal("indexed join should beat nested loop at w=2^20")
+	}
+}
+
+func TestChainSearchGrowsWithLength(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if p.Chain(16).Search <= p.Chain(2).Search {
+		t.Fatal("chain search cost should grow with chain length (Figure 8b)")
+	}
+	// Insert gets cheaper with shorter subindexes.
+	if p.Chain(16).Insert > p.Chain(2).Insert {
+		t.Fatal("chain insert cost should not grow with chain length")
+	}
+}
+
+func TestBestChainLengthIsSmall(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if l := p.BestChainLength(16); l > 4 {
+		t.Fatalf("model best chain length = %d; Figure 8b finds 2", l)
+	}
+}
+
+func TestRoundRobinSearchGrowsWithCores(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if p.RoundRobin(16).Search <= p.RoundRobin(1).Search {
+		t.Fatal("redundant local searches should grow with core count (Section 2.2.3)")
+	}
+	if p.RoundRobin(16).Insert >= p.RoundRobin(1).Insert {
+		t.Fatal("smaller local indexes should make inserts cheaper")
+	}
+}
+
+func TestIMTreeInsertBeatsBTree(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	if p.IMTree(1.0/16).Insert >= p.BTree().Insert {
+		t.Fatal("IM-Tree inserts into a small TI; must beat full-height B+-Tree inserts")
+	}
+}
+
+func TestPIMTreeSearchBeatsIMTree(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	pim := p.PIMTree(1.0/16, 2)
+	im := p.IMTree(1.0 / 16)
+	if pim.Search > im.Search {
+		t.Fatalf("PIM-Tree subindexes are smaller; search %f should be <= IM-Tree %f", pim.Search, im.Search)
+	}
+}
+
+func TestPIMInsertTradeoffWithDI(t *testing.T) {
+	// Deeper DI adds TS-routing cost but shrinks subindexes (Section 3.3.2).
+	p := DefaultParams(1 << 22)
+	shallow := p.PIMTree(1, 0)
+	deep := p.PIMTree(1, 4)
+	if deep.Insert == shallow.Insert {
+		t.Fatal("DI must influence insert cost")
+	}
+}
+
+func TestMergeRatioTradeoff(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	tiny := p.IMTree(1.0 / 1024).Delete // frequent merges -> high amortized cost
+	one := p.IMTree(1).Delete           // rare merges -> low amortized cost
+	if tiny <= one {
+		t.Fatal("smaller merge ratio must raise amortized merge cost")
+	}
+	if p.IMTree(1).Search <= p.IMTree(1.0/64).Search {
+		t.Fatal("larger merge ratio must raise search cost (bigger TI, more expired)")
+	}
+	best := p.BestMergeRatio()
+	if best <= 1.0/1024 || best > 1 {
+		t.Fatalf("best merge ratio %f outside plausible band", best)
+	}
+}
+
+func TestCostTotalIsSum(t *testing.T) {
+	c := Cost{Search: 1, Delete: 2, Insert: 3}
+	if c.Total() != 6 {
+		t.Fatalf("Total = %f", c.Total())
+	}
+}
+
+func TestClampRatio(t *testing.T) {
+	if clampRatio(-1) <= 0 || clampRatio(0) <= 0 {
+		t.Fatal("non-positive ratios must clamp to positive")
+	}
+	if clampRatio(2) != 1 {
+		t.Fatal("ratios above 1 must clamp to 1")
+	}
+}
+
+func TestPIMBeatsBTreeOverall(t *testing.T) {
+	// The headline analytical claim: at large w, PIM-Tree IBWJ beats
+	// single B+-Tree IBWJ per tuple.
+	p := DefaultParams(1 << 23)
+	if p.PIMTree(1.0/16, 2).Total() >= p.BTree().Total() {
+		t.Fatalf("PIM total %f should beat B+-Tree total %f at w=2^23",
+			p.PIMTree(1.0/16, 2).Total(), p.BTree().Total())
+	}
+}
+
+func TestModelFinite(t *testing.T) {
+	p := DefaultParams(1 << 16)
+	for _, c := range []Cost{
+		p.BTree(), p.Chain(1), p.Chain(8), p.RoundRobin(0), p.RoundRobin(8),
+		p.IMTree(0), p.IMTree(1), p.PIMTree(0.5, -1), p.PIMTree(1, 4), p.NLWJ(),
+	} {
+		for _, v := range []float64{c.Search, c.Delete, c.Insert} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("non-finite or negative model cost: %+v", c)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewUniform(42)
+	b := NewUniform(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewUniform(43)
+	same := 0
+	a2 := NewUniform(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds matched %d/1000 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(1)
+	for i := 0; i < 10000; i++ {
+		if g.Next() >= KeySpace {
+			t.Fatal("key outside KeySpace")
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	g := NewUniform(7)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next())
+	}
+	mean := sum / float64(n) / float64(KeySpace)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewGaussian(7, 0.5, 0.125)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(g.Next()) / float64(KeySpace)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("gaussian mean = %f, want ~0.5", mean)
+	}
+	if math.Abs(std-0.125) > 0.01 {
+		t.Fatalf("gaussian std = %f, want ~0.125", std)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ k, theta float64 }{{3, 3}, {1, 5}, {0.5, 2}} {
+		g := NewGamma(9, tc.k, tc.theta)
+		n := 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(g.Next()) / float64(KeySpace) * g.norm
+		}
+		mean := sum / float64(n)
+		want := tc.k * tc.theta
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("Gamma(%v,%v) mean = %f, want ~%f", tc.k, tc.theta, mean, want)
+		}
+	}
+}
+
+func TestGammaInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGamma(0,...) did not panic")
+		}
+	}()
+	NewGamma(1, 0, 1)
+}
+
+func TestShiftingGaussianPhases(t *testing.T) {
+	s := NewShiftingGaussian(3, 1.0, 100, 200)
+	if s.Mean() != 0.5 {
+		t.Fatalf("phase-1 mean = %f, want 0.5", s.Mean())
+	}
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if s.Mean() != 0.5 {
+		t.Fatalf("mean at phase-2 start = %f, want 0.5", s.Mean())
+	}
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	mid := s.Mean()
+	if math.Abs(mid-1.0) > 1e-9 {
+		t.Fatalf("mean mid-drift = %f, want 1.0", mid)
+	}
+	for i := 0; i < 200; i++ {
+		s.Next()
+	}
+	if s.Mean() != 1.5 {
+		t.Fatalf("phase-3 mean = %f, want 1.5", s.Mean())
+	}
+}
+
+func TestShiftingGaussianStationaryWhenRZero(t *testing.T) {
+	s := NewShiftingGaussian(3, 0, 10, 10)
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if s.Mean() != 0.5 {
+		t.Fatalf("r=0 drifted to %f", s.Mean())
+	}
+}
+
+func TestInterleaverSymmetric(t *testing.T) {
+	in := NewInterleaver(5, NewUniform(1), NewUniform(2), 0.5)
+	counts := [2]int{}
+	for i := 0; i < 100000; i++ {
+		a := in.Next()
+		counts[a.Stream]++
+	}
+	ratio := float64(counts[StreamS]) / 100000
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("S share = %f, want ~0.5", ratio)
+	}
+}
+
+func TestInterleaverAsymmetric(t *testing.T) {
+	for _, pS := range []float64{0.0, 0.1, 0.3} {
+		in := NewInterleaver(5, NewUniform(1), NewUniform(2), pS)
+		counts := [2]int{}
+		for i := 0; i < 50000; i++ {
+			counts[in.Next().Stream]++
+		}
+		ratio := float64(counts[StreamS]) / 50000
+		if math.Abs(ratio-pS) > 0.02 {
+			t.Fatalf("pS=%f: S share = %f", pS, ratio)
+		}
+	}
+}
+
+func TestInterleaverTake(t *testing.T) {
+	in := NewInterleaver(5, NewUniform(1), NewUniform(2), 0.5)
+	batch := in.Take(100)
+	if len(batch) != 100 {
+		t.Fatalf("Take returned %d", len(batch))
+	}
+	in2 := NewInterleaver(5, NewUniform(1), NewUniform(2), 0.5)
+	for i, a := range batch {
+		if b := in2.Next(); a != b {
+			t.Fatalf("Take[%d] = %v but Next = %v", i, a, b)
+		}
+	}
+}
+
+func TestSelfStream(t *testing.T) {
+	s := NewSelfStream(NewUniform(1))
+	for i := 0; i < 100; i++ {
+		if a := s.Next(); a.Stream != StreamR {
+			t.Fatal("self stream emitted non-R tuple")
+		}
+	}
+	if len(s.Take(10)) != 10 {
+		t.Fatal("Take size mismatch")
+	}
+}
+
+func TestUniformDiffClosedForm(t *testing.T) {
+	w := 1 << 16
+	diff := UniformDiff(w, 2)
+	want := (2*float64(KeySpace)/float64(w) - 1) / 2
+	if math.Abs(float64(diff)-want) > 1 {
+		t.Fatalf("UniformDiff = %d, want ~%f", diff, want)
+	}
+	if UniformDiff(1<<30, 0.001) != 0 {
+		t.Fatal("tiny target should clamp to 0")
+	}
+}
+
+// The empirical calibration must agree with the closed form on the uniform
+// distribution and must achieve the requested match rate for skewed ones.
+func TestCalibrateDiffUniformAgreesWithClosedForm(t *testing.T) {
+	w := 1 << 14
+	emp := CalibrateDiff(func(seed int64) KeyGen { return NewUniform(seed) }, w, 2)
+	closed := UniformDiff(w, 2)
+	ratio := float64(emp) / float64(closed)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("calibrated diff %d vs closed form %d (ratio %f)", emp, closed, ratio)
+	}
+}
+
+func TestCalibrateDiffGaussianAchievesTarget(t *testing.T) {
+	w := 1 << 14
+	diff := CalibrateDiff(func(seed int64) KeyGen { return NewGaussian(seed, 0.5, 0.125) }, w, 2)
+	// Validate empirically: fill a window, count matches for fresh probes.
+	g := NewGaussian(123, 0.5, 0.125)
+	window := make([]uint32, w)
+	for i := range window {
+		window[i] = g.Next()
+	}
+	probes := 2000
+	var total float64
+	pg := NewGaussian(321, 0.5, 0.125)
+	for i := 0; i < probes; i++ {
+		x := pg.Next()
+		lo, hi := x-diff, x+diff
+		if lo > x {
+			lo = 0
+		}
+		if hi < x {
+			hi = math.MaxUint32
+		}
+		for _, k := range window {
+			if k >= lo && k <= hi {
+				total++
+			}
+		}
+	}
+	rate := total / float64(probes)
+	if rate < 1.0 || rate > 4.0 {
+		t.Fatalf("calibrated match rate = %f, want ~2", rate)
+	}
+}
+
+func BenchmarkUniform(b *testing.B) {
+	g := NewUniform(1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	g := NewGamma(1, 3, 3)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

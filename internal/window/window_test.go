@@ -1,0 +1,393 @@
+package window
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pimtree/internal/kv"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.W() != 4 {
+		t.Fatalf("W = %d, want 4", r.W())
+	}
+	for i := uint32(0); i < 4; i++ {
+		_, seq, _, hasExp := r.Append(i * 10)
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+		if hasExp {
+			t.Fatalf("tuple %d expired before window filled", i)
+		}
+	}
+	if r.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", r.Count())
+	}
+	// The fifth append expires the first tuple.
+	_, _, exp, hasExp := r.Append(40)
+	if !hasExp {
+		t.Fatal("no expiry when window slid")
+	}
+	if exp.Key != 0 {
+		t.Fatalf("expired key = %d, want 0", exp.Key)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("Count = %d after slide, want 4", r.Count())
+	}
+}
+
+func TestRingLiveness(t *testing.T) {
+	r := NewRing(8)
+	refs := make([]uint32, 0, 100)
+	seqs := make([]uint64, 0, 100)
+	for i := 0; i < 100; i++ {
+		ref, seq, _, _ := r.Append(uint32(i))
+		refs = append(refs, ref)
+		seqs = append(seqs, seq)
+	}
+	for i := 0; i < 100; i++ {
+		wantLive := i >= 92
+		if got := r.LiveSeq(seqs[i]); got != wantLive {
+			t.Fatalf("LiveSeq(%d) = %v, want %v", i, got, wantLive)
+		}
+	}
+	// Refs of live tuples resolve; refs of long-dead tuples either resolve
+	// to reused slots (different seq) or fail the live check.
+	for i := 92; i < 100; i++ {
+		key, seq, live := r.Resolve(refs[i])
+		if !live || key != uint32(i) || seq != seqs[i] {
+			t.Fatalf("Resolve of live tuple %d failed: key=%d seq=%d live=%v", i, key, seq, live)
+		}
+	}
+}
+
+func TestRingScanOrder(t *testing.T) {
+	r := NewRing(5)
+	for i := 0; i < 12; i++ {
+		r.Append(uint32(i * 2))
+	}
+	var keys []uint32
+	var lastSeq uint64
+	r.Scan(func(key uint32, seq uint64) bool {
+		keys = append(keys, key)
+		lastSeq = seq
+		return true
+	})
+	if len(keys) != 5 {
+		t.Fatalf("Scan visited %d tuples, want 5", len(keys))
+	}
+	if keys[0] != 14 || keys[4] != 22 {
+		t.Fatalf("Scan keys = %v, want [14 16 18 20 22]", keys)
+	}
+	if lastSeq != 11 {
+		t.Fatalf("last seq = %d, want 11", lastSeq)
+	}
+}
+
+func TestRingScanEarlyStop(t *testing.T) {
+	r := NewRing(10)
+	for i := 0; i < 10; i++ {
+		r.Append(uint32(i))
+	}
+	n := 0
+	r.Scan(func(uint32, uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestRingExpirySequence(t *testing.T) {
+	// Every append past w must expire exactly the tuple w arrivals earlier.
+	w := 16
+	r := NewRing(w)
+	var expired []kv.Pair
+	for i := 0; i < 100; i++ {
+		_, _, exp, has := r.Append(uint32(i))
+		if has {
+			expired = append(expired, exp)
+		}
+	}
+	if len(expired) != 100-w {
+		t.Fatalf("expired %d tuples, want %d", len(expired), 100-w)
+	}
+	for i, e := range expired {
+		if e.Key != uint32(i) {
+			t.Fatalf("expiry %d returned key %d, want %d", i, e.Key, i)
+		}
+	}
+}
+
+func TestRingInvalidLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// Property: at any point, Count() == min(appends, w), and the live content
+// is exactly the last min(appends, w) keys.
+func TestQuickRingContent(t *testing.T) {
+	f := func(keys []uint32, wRaw uint8) bool {
+		w := int(wRaw%32) + 1
+		r := NewRing(w)
+		for _, k := range keys {
+			r.Append(k)
+		}
+		wantCount := len(keys)
+		if wantCount > w {
+			wantCount = w
+		}
+		if r.Count() != wantCount {
+			return false
+		}
+		var got []uint32
+		r.Scan(func(key uint32, _ uint64) bool {
+			got = append(got, key)
+			return true
+		})
+		if len(got) != wantCount {
+			return false
+		}
+		for i := 0; i < wantCount; i++ {
+			if got[i] != keys[len(keys)-wantCount+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendPublish(t *testing.T) {
+	c := NewConcurrent(8, 16)
+	ref, seq := c.Append(77)
+	if seq != 0 {
+		t.Fatalf("seq = %d, want 0", seq)
+	}
+	key, gotSeq, ok := c.Get(ref)
+	if !ok || key != 77 || gotSeq != 0 {
+		t.Fatalf("Get = (%d,%d,%v), want (77,0,true)", key, gotSeq, ok)
+	}
+	if c.Head() != 1 {
+		t.Fatalf("Head = %d, want 1", c.Head())
+	}
+}
+
+func TestConcurrentEdgeAdvance(t *testing.T) {
+	c := NewConcurrent(8, 16)
+	for i := 0; i < 5; i++ {
+		c.Append(uint32(i))
+	}
+	if c.Edge() != 0 {
+		t.Fatalf("Edge = %d, want 0", c.Edge())
+	}
+	// Indexing tuples 1 and 2 must not move the edge past tuple 0.
+	c.MarkIndexed(1)
+	c.MarkIndexed(2)
+	c.TryAdvanceEdge()
+	if c.Edge() != 0 {
+		t.Fatalf("Edge advanced past non-indexed tuple: %d", c.Edge())
+	}
+	c.MarkIndexed(0)
+	c.TryAdvanceEdge()
+	if c.Edge() != 3 {
+		t.Fatalf("Edge = %d, want 3", c.Edge())
+	}
+	c.MarkIndexed(4)
+	c.TryAdvanceEdge()
+	if c.Edge() != 3 {
+		t.Fatalf("Edge = %d, want 3 (tuple 3 not indexed)", c.Edge())
+	}
+	c.MarkIndexed(3)
+	c.TryAdvanceEdge()
+	if c.Edge() != 5 {
+		t.Fatalf("Edge = %d, want 5", c.Edge())
+	}
+}
+
+func TestConcurrentScanRange(t *testing.T) {
+	c := NewConcurrent(16, 4)
+	for i := 0; i < 10; i++ {
+		c.Append(uint32(i * 3))
+	}
+	var keys []uint32
+	c.ScanRange(4, 8, func(key uint32, seq uint64) bool {
+		keys = append(keys, key)
+		return true
+	})
+	want := []uint32{12, 15, 18, 21}
+	if len(keys) != len(want) {
+		t.Fatalf("ScanRange returned %d keys, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("ScanRange[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentStaleSlotDetection(t *testing.T) {
+	c := NewConcurrent(2, 0) // tiny window, capacity still >= 4w+2
+	var refs []uint32
+	for i := 0; i < c.Capacity()+3; i++ {
+		ref, _ := c.Append(uint32(i))
+		refs = append(refs, ref)
+	}
+	// The first slot has been reused; its seq must differ from 0.
+	_, seq, ok := c.Get(refs[0])
+	if ok && seq == 0 {
+		t.Fatal("reused slot still reports original sequence")
+	}
+}
+
+func TestConcurrentParallelReaders(t *testing.T) {
+	c := NewConcurrent(1024, 256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.Append(uint32(i))
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				head := c.Head()
+				if head == 0 {
+					continue
+				}
+				// Read the most recent published tuple.
+				key := c.KeyAt(head - 1)
+				if uint64(key) >= 5000 {
+					t.Errorf("read key %d beyond feed", key)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if c.Head() != 5000 {
+		t.Fatalf("Head = %d, want 5000", c.Head())
+	}
+}
+
+func TestConcurrentEdgeLockContention(t *testing.T) {
+	c := NewConcurrent(64, 64)
+	for i := 0; i < 64; i++ {
+		c.Append(uint32(i))
+		c.MarkIndexed(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.TryAdvanceEdge()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Edge() != 64 {
+		t.Fatalf("Edge = %d after contended advance, want 64", c.Edge())
+	}
+}
+
+func TestTimeRingBasics(t *testing.T) {
+	r := NewTimeRing(100, 16)
+	var expired []kv.Pair
+	onExp := func(p kv.Pair) { expired = append(expired, p) }
+	r.Append(1, 0, onExp)
+	r.Append(2, 50, onExp)
+	r.Append(3, 99, onExp)
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+	// ts=100 evicts the ts=0 tuple (age 100 >= span 100).
+	r.Append(4, 100, onExp)
+	if len(expired) != 1 || expired[0].Key != 1 {
+		t.Fatalf("expired = %v, want key 1", expired)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+}
+
+func TestTimeRingAdvanceTime(t *testing.T) {
+	r := NewTimeRing(10, 16)
+	r.Append(1, 0, nil)
+	r.Append(2, 5, nil)
+	var expired []kv.Pair
+	r.AdvanceTime(14, func(p kv.Pair) { expired = append(expired, p) })
+	if len(expired) != 1 || expired[0].Key != 1 {
+		t.Fatalf("expired = %v, want key 1 only", expired)
+	}
+	r.AdvanceTime(100, func(p kv.Pair) { expired = append(expired, p) })
+	if len(expired) != 2 {
+		t.Fatalf("expired = %v, want both", expired)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", r.Count())
+	}
+}
+
+func TestTimeRingGrowth(t *testing.T) {
+	r := NewTimeRing(1<<40, 16)
+	prevCap := r.Capacity()
+	for i := 0; i < 1000; i++ {
+		r.Append(uint32(i), uint64(i), nil)
+	}
+	if r.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", r.Count())
+	}
+	if !r.NeedsReindex(prevCap) {
+		t.Fatal("ring should have grown")
+	}
+	// All tuples remain addressable in order after growth.
+	i := 0
+	r.Scan(func(key uint32, seq uint64, ts uint64) bool {
+		if key != uint32(i) || seq != uint64(i) || ts != uint64(i) {
+			t.Fatalf("tuple %d = (%d,%d,%d)", i, key, seq, ts)
+		}
+		i++
+		return true
+	})
+	if i != 1000 {
+		t.Fatalf("scanned %d, want 1000", i)
+	}
+}
+
+func TestTimeRingRegressPanics(t *testing.T) {
+	r := NewTimeRing(10, 16)
+	r.Append(1, 100, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("timestamp regression did not panic")
+		}
+	}()
+	r.Append(2, 50, nil)
+}
+
+func TestPow2Ceil(t *testing.T) {
+	cases := map[uint64]uint64{0: 2, 1: 2, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := pow2Ceil(in); got != want {
+			t.Fatalf("pow2Ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

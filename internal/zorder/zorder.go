@@ -1,0 +1,135 @@
+// Package zorder implements a Morton (Z-order) encoding layer that extends
+// the one-dimensional PIM-Tree to two-dimensional keys — the first step of
+// the paper's stated future work ("extending PIM-Tree to support the
+// indexing of multidimensional data", Section 7).
+//
+// A 2-D point (x, y) of 16-bit coordinates interleaves into a 32-bit Morton
+// code, which any of the repository's 1-D indexes can store. A 2-D box query
+// decomposes into a small set of 1-D Morton intervals (recursive quadrant
+// splitting, the classic litmax/bigmin-free formulation), each of which runs
+// as an ordinary index range query; a final coordinate check removes the
+// residual false positives inside the intervals.
+package zorder
+
+// Interleave encodes a 2-D point into its Morton code: bit i of x lands at
+// bit 2i, bit i of y at bit 2i+1.
+func Interleave(x, y uint16) uint32 {
+	return spread(x) | spread(y)<<1
+}
+
+// Deinterleave decodes a Morton code back to its coordinates.
+func Deinterleave(z uint32) (x, y uint16) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread distributes the 16 bits of v over the even bit positions of a
+// uint32.
+func spread(v uint16) uint32 {
+	x := uint32(v)
+	x = (x | x<<8) & 0x00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+// compact inverts spread.
+func compact(z uint32) uint16 {
+	x := z & 0x55555555
+	x = (x | x>>1) & 0x33333333
+	x = (x | x>>2) & 0x0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF
+	x = (x | x>>8) & 0x0000FFFF
+	return uint16(x)
+}
+
+// Interval is an inclusive 1-D range of Morton codes.
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// Box is an inclusive 2-D query rectangle.
+type Box struct {
+	X1, Y1 uint16 // lower-left corner
+	X2, Y2 uint16 // upper-right corner
+}
+
+// Contains reports whether the point lies inside the box.
+func (b Box) Contains(x, y uint16) bool {
+	return x >= b.X1 && x <= b.X2 && y >= b.Y1 && y <= b.Y2
+}
+
+// Normalize orders the corners.
+func (b Box) Normalize() Box {
+	if b.X1 > b.X2 {
+		b.X1, b.X2 = b.X2, b.X1
+	}
+	if b.Y1 > b.Y2 {
+		b.Y1, b.Y2 = b.Y2, b.Y1
+	}
+	return b
+}
+
+// Decompose splits a box query into at most maxIntervals Morton intervals
+// that jointly cover the box. Fewer, wider intervals mean more false
+// positives to filter but fewer index probes; maxIntervals tunes that
+// trade-off (16–64 is typical). The intervals are returned sorted and
+// non-overlapping.
+func Decompose(b Box, maxIntervals int) []Interval {
+	b = b.Normalize()
+	if maxIntervals < 1 {
+		maxIntervals = 1
+	}
+	// Recursive quadrant split: a node is a Z-curve-aligned square. If it
+	// is fully inside the box, emit its whole code interval; if disjoint,
+	// drop it; otherwise split into four children — unless the budget says
+	// to emit the covering interval as-is.
+	type node struct {
+		x, y  uint16 // lower-left corner of the square
+		level int    // square side = 1 << level
+	}
+	var out []Interval
+	var visit func(n node, budget *int)
+	visit = func(n node, budget *int) {
+		side := uint64(1) << n.level
+		x2 := uint64(n.x) + side - 1
+		y2 := uint64(n.y) + side - 1
+		// Disjoint?
+		if uint64(b.X2) < uint64(n.x) || uint64(b.X1) > x2 ||
+			uint64(b.Y2) < uint64(n.y) || uint64(b.Y1) > y2 {
+			return
+		}
+		lo := Interleave(n.x, n.y)
+		// Z-aligned squares cover contiguous codes; compute in 64 bits so
+		// the root square's side*side = 2^32 does not overflow.
+		hi := uint32(uint64(lo) + side*side - 1)
+		// Fully covered, or out of budget: emit the covering interval.
+		fully := uint64(b.X1) <= uint64(n.x) && x2 <= uint64(b.X2) &&
+			uint64(b.Y1) <= uint64(n.y) && y2 <= uint64(b.Y2)
+		if fully || n.level == 0 || *budget <= 0 {
+			out = append(out, Interval{Lo: lo, Hi: hi})
+			return
+		}
+		*budget--
+		half := uint16(1) << (n.level - 1)
+		visit(node{n.x, n.y, n.level - 1}, budget)
+		visit(node{n.x + half, n.y, n.level - 1}, budget)
+		visit(node{n.x, n.y + half, n.level - 1}, budget)
+		visit(node{n.x + half, n.y + half, n.level - 1}, budget)
+	}
+	budget := maxIntervals
+	visit(node{0, 0, 16}, &budget)
+	// Merge adjacent intervals (children emitted in Z order are already
+	// sorted; coalesce touching ranges).
+	merged := out[:0]
+	for _, iv := range out {
+		if n := len(merged); n > 0 && merged[n-1].Hi != ^uint32(0) && merged[n-1].Hi+1 >= iv.Lo {
+			if iv.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}

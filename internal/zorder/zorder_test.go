@@ -1,0 +1,172 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		gx, gy := Deinterleave(Interleave(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint16
+		z    uint32
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{0xFFFF, 0xFFFF, 0xFFFFFFFF},
+	}
+	for _, tc := range cases {
+		if got := Interleave(tc.x, tc.y); got != tc.z {
+			t.Fatalf("Interleave(%d,%d) = %d, want %d", tc.x, tc.y, got, tc.z)
+		}
+	}
+}
+
+func TestZOrderPreservesQuadrantOrder(t *testing.T) {
+	// Codes of any quadrant's points are contiguous and ordered before the
+	// next quadrant at the same level.
+	if Interleave(0x7FFF, 0x7FFF) >= Interleave(0x8000, 0) {
+		t.Fatal("lower-left quadrant codes must precede lower-right")
+	}
+	if Interleave(0xFFFF, 0x7FFF) >= Interleave(0, 0x8000) {
+		t.Fatal("bottom-half codes must precede top-half")
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := Box{X1: 10, Y1: 20, X2: 30, Y2: 40}
+	if !b.Contains(10, 20) || !b.Contains(30, 40) || !b.Contains(15, 33) {
+		t.Fatal("boundary/interior point rejected")
+	}
+	if b.Contains(9, 30) || b.Contains(31, 30) || b.Contains(20, 41) {
+		t.Fatal("exterior point accepted")
+	}
+	n := Box{X1: 5, Y1: 9, X2: 1, Y2: 2}.Normalize()
+	if n.X1 != 1 || n.Y1 != 2 || n.X2 != 5 || n.Y2 != 9 {
+		t.Fatalf("Normalize = %+v", n)
+	}
+}
+
+func TestDecomposeCoversBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		b := Box{
+			X1: uint16(rng.Intn(1 << 16)), Y1: uint16(rng.Intn(1 << 16)),
+			X2: uint16(rng.Intn(1 << 16)), Y2: uint16(rng.Intn(1 << 16)),
+		}.Normalize()
+		ivs := Decompose(b, 32)
+		if len(ivs) == 0 {
+			t.Fatalf("no intervals for %+v", b)
+		}
+		// Intervals sorted and disjoint.
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Lo <= ivs[i-1].Hi {
+				t.Fatalf("intervals overlap/unsorted: %+v", ivs)
+			}
+		}
+		// Sample points inside the box must fall inside some interval.
+		for s := 0; s < 50; s++ {
+			x := b.X1 + uint16(rng.Intn(int(b.X2-b.X1)+1))
+			y := b.Y1 + uint16(rng.Intn(int(b.Y2-b.Y1)+1))
+			z := Interleave(x, y)
+			ok := false
+			for _, iv := range ivs {
+				if z >= iv.Lo && z <= iv.Hi {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("point (%d,%d) z=%d not covered by %+v for box %+v", x, y, z, ivs, b)
+			}
+		}
+	}
+}
+
+func TestDecomposeExactForAlignedSquares(t *testing.T) {
+	// A Z-aligned square decomposes into exactly one interval with no
+	// false positives.
+	b := Box{X1: 0, Y1: 0, X2: 255, Y2: 255}
+	ivs := Decompose(b, 64)
+	if len(ivs) != 1 {
+		t.Fatalf("aligned square produced %d intervals", len(ivs))
+	}
+	if ivs[0].Lo != 0 || ivs[0].Hi != 256*256-1 {
+		t.Fatalf("interval = %+v", ivs[0])
+	}
+}
+
+func TestDecomposeBudgetBoundsIntervals(t *testing.T) {
+	b := Box{X1: 3, Y1: 5, X2: 60001, Y2: 60013}
+	small := Decompose(b, 4)
+	large := Decompose(b, 256)
+	if len(small) > len(large) {
+		t.Fatalf("smaller budget produced more intervals (%d > %d)", len(small), len(large))
+	}
+	// Coverage must hold regardless of budget.
+	z := Interleave(30000, 5000)
+	covered := false
+	for _, iv := range small {
+		if z >= iv.Lo && z <= iv.Hi {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatal("budgeted decomposition lost coverage")
+	}
+}
+
+func TestDecomposeWholeDomain(t *testing.T) {
+	ivs := Decompose(Box{0, 0, 0xFFFF, 0xFFFF}, 8)
+	if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != ^uint32(0) {
+		t.Fatalf("whole-domain decomposition = %+v", ivs)
+	}
+}
+
+func TestDecomposePoint(t *testing.T) {
+	ivs := Decompose(Box{X1: 7, Y1: 9, X2: 7, Y2: 9}, 64)
+	z := Interleave(7, 9)
+	if len(ivs) == 0 {
+		t.Fatal("no intervals for point box")
+	}
+	found := false
+	total := uint64(0)
+	for _, iv := range ivs {
+		total += uint64(iv.Hi-iv.Lo) + 1
+		if z >= iv.Lo && z <= iv.Hi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("point not covered")
+	}
+	if total != 1 {
+		t.Fatalf("point box covered %d codes, want exactly 1", total)
+	}
+}
+
+func BenchmarkInterleave(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Interleave(uint16(i), uint16(i>>16))
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	box := Box{X1: 1000, Y1: 2000, X2: 34567, Y2: 45678}
+	for i := 0; i < b.N; i++ {
+		Decompose(box, 32)
+	}
+}

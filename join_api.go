@@ -1,0 +1,240 @@
+package pimtree
+
+import (
+	"fmt"
+	"time"
+
+	"pimtree/internal/core"
+	"pimtree/internal/join"
+	"pimtree/internal/metrics"
+	"pimtree/internal/stream"
+)
+
+// StreamID names the two input streams of a band join.
+type StreamID uint8
+
+// The two streams. Self-joins use R for every tuple.
+const (
+	R StreamID = StreamID(stream.StreamR)
+	S StreamID = StreamID(stream.StreamS)
+)
+
+// Backend selects the index structure behind a join.
+type Backend int
+
+// Available backends; PIMTree is the paper's contribution, the others are
+// its evaluated baselines.
+const (
+	PIMTree Backend = iota
+	IMTree
+	BPlusTree
+	BwTree
+	BChain
+	IBChain
+)
+
+// String names the backend.
+func (b Backend) String() string { return b.kind().String() }
+
+func (b Backend) kind() join.IndexKind {
+	switch b {
+	case PIMTree:
+		return join.IndexPIMTree
+	case IMTree:
+		return join.IndexIMTree
+	case BPlusTree:
+		return join.IndexBTree
+	case BwTree:
+		return join.IndexBwTree
+	case BChain:
+		return join.IndexChainB
+	case IBChain:
+		return join.IndexChainIB
+	default:
+		return join.IndexPIMTree
+	}
+}
+
+// Match is one join output: the probing tuple and the matched tuple of the
+// opposite window, identified by their per-stream sequence numbers.
+type Match struct {
+	ProbeStream StreamID
+	ProbeSeq    uint64
+	MatchSeq    uint64
+}
+
+// JoinOptions configures an incremental single-threaded band join.
+type JoinOptions struct {
+	WindowR int  // length of stream R's sliding window (required)
+	WindowS int  // length of stream S's window (ignored for self-joins)
+	Self    bool // self-join: one stream, one window
+	Diff    uint32
+	Backend Backend
+	// ChainLength is L for the chain backends (default 2).
+	ChainLength int
+	// Index tunes the two-stage backends.
+	Index IndexOptions
+	// OnMatch, when set, observes every match in arrival order.
+	OnMatch func(Match)
+}
+
+// Join is an incremental band join: push tuples, get matches. Not safe for
+// concurrent use — for multicore execution use RunParallel.
+type Join struct {
+	eng     *join.Streaming
+	matches uint64
+	tuples  uint64
+}
+
+// NewJoin builds an incremental join operator.
+func NewJoin(o JoinOptions) (*Join, error) {
+	if o.WindowR <= 0 {
+		return nil, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
+	}
+	if !o.Self && o.WindowS <= 0 {
+		return nil, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
+	}
+	cfg := join.SerialConfig{
+		WR:          o.WindowR,
+		WS:          o.WindowS,
+		Self:        o.Self,
+		Band:        join.Band{Diff: o.Diff},
+		Index:       o.Backend.kind(),
+		ChainLength: o.ChainLength,
+		IM:          core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
+		PIM: core.PIMTreeConfig{
+			MergeRatio:     o.Index.MergeRatio,
+			InsertionDepth: o.Index.InsertionDepth,
+		},
+	}
+	if o.OnMatch != nil {
+		cb := o.OnMatch
+		cfg.Sink = func(s uint8, probe, match uint64) {
+			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+		}
+	}
+	return &Join{eng: join.NewStreaming(cfg)}, nil
+}
+
+// Push processes one tuple and returns how many matches it produced.
+func (j *Join) Push(s StreamID, key uint32) int {
+	n := j.eng.Push(stream.Arrival{Stream: uint8(s), Key: key})
+	j.matches += uint64(n)
+	j.tuples++
+	return n
+}
+
+// PushR pushes a stream-R tuple.
+func (j *Join) PushR(key uint32) int { return j.Push(R, key) }
+
+// PushS pushes a stream-S tuple.
+func (j *Join) PushS(key uint32) int { return j.Push(S, key) }
+
+// Matches returns the total number of matches produced so far.
+func (j *Join) Matches() uint64 { return j.matches }
+
+// Tuples returns the number of tuples pushed so far.
+func (j *Join) Tuples() uint64 { return j.tuples }
+
+// WindowCount returns the number of live tuples in a stream's window.
+func (j *Join) WindowCount(s StreamID) int { return j.eng.WindowCount(uint8(s)) }
+
+// Merges reports how many index merges ran and their cumulative time.
+func (j *Join) Merges() (int, time.Duration) { return j.eng.Merges() }
+
+// Arrival is one tuple arrival for the batch-parallel driver.
+type Arrival struct {
+	Stream StreamID
+	Key    uint32
+}
+
+// ParallelOptions configures the multicore shared-index join (Section 4 of
+// the paper).
+type ParallelOptions struct {
+	Threads  int // worker goroutines (default GOMAXPROCS via 0)
+	TaskSize int // tuples per task (default 8)
+	WindowR  int
+	WindowS  int
+	Self     bool
+	Diff     uint32
+	// UseBwTree switches the shared index from PIM-Tree to the Bw-Tree
+	// baseline.
+	UseBwTree bool
+	// BlockingMerge disables the non-blocking two-phase merge.
+	BlockingMerge bool
+	// Index tunes the PIM-Tree (merge ratio defaults to 1 in parallel use).
+	Index IndexOptions
+	// OnMatch observes matches in arrival order (propagation order).
+	OnMatch func(Match)
+	// RecordLatency enables per-tuple latency sampling.
+	RecordLatency bool
+}
+
+// RunStats summarizes a parallel run.
+type RunStats struct {
+	Tuples     int
+	Matches    uint64
+	Elapsed    time.Duration
+	Mtps       float64
+	Merges     int
+	MergeTime  time.Duration
+	MeanMicros float64
+	P99Micros  float64
+}
+
+// RunParallel executes the parallel shared-index band join over a batch of
+// arrivals and returns its statistics. Matches are propagated to OnMatch in
+// arrival order.
+func RunParallel(arrivals []Arrival, o ParallelOptions) (RunStats, error) {
+	if o.WindowR <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
+	}
+	if !o.Self && o.WindowS <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
+	}
+	mergeRatio := o.Index.MergeRatio
+	if mergeRatio == 0 {
+		mergeRatio = 1 // Figure 9a: m=1 is best under concurrency
+	}
+	cfg := join.SharedConfig{
+		Threads:       o.Threads,
+		TaskSize:      o.TaskSize,
+		WR:            o.WindowR,
+		WS:            o.WindowS,
+		Self:          o.Self,
+		Band:          join.Band{Diff: o.Diff},
+		Index:         join.IndexPIMTree,
+		BlockingMerge: o.BlockingMerge,
+		PIM: core.PIMTreeConfig{
+			MergeRatio:     mergeRatio,
+			InsertionDepth: o.Index.InsertionDepth,
+		},
+	}
+	if o.UseBwTree {
+		cfg.Index = join.IndexBwTree
+	}
+	if o.OnMatch != nil {
+		cb := o.OnMatch
+		cfg.Sink = func(s uint8, probe, match uint64) {
+			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+		}
+	}
+	if o.RecordLatency {
+		cfg.Latency = metrics.NewLatencyRecorder(1<<16, 4)
+	}
+	in := make([]stream.Arrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = stream.Arrival{Stream: uint8(a.Stream), Key: a.Key}
+	}
+	st := join.RunShared(in, cfg)
+	return RunStats{
+		Tuples:     st.Tuples,
+		Matches:    st.Matches,
+		Elapsed:    st.Elapsed,
+		Mtps:       st.Mtps(),
+		Merges:     st.Merges,
+		MergeTime:  st.MergeTime,
+		MeanMicros: st.Latency.MeanMicros,
+		P99Micros:  st.Latency.P99Micros,
+	}, nil
+}

@@ -1,0 +1,41 @@
+package pimtree
+
+import "pimtree/internal/zorder"
+
+// This file exposes the multidimensional extension (the paper's Section 7
+// future work, first step): 16-bit 2-D points are Morton-encoded into the
+// 32-bit keys every index in this repository stores, and 2-D box queries
+// decompose into a handful of 1-D range searches.
+
+// EncodeXY packs a 2-D point into a Z-order (Morton) key: spatially close
+// points receive numerically close keys, so 1-D range partitioning (the
+// PIM-Tree subindexes) keeps spatial locality.
+func EncodeXY(x, y uint16) uint32 { return zorder.Interleave(x, y) }
+
+// DecodeXY unpacks a Z-order key.
+func DecodeXY(key uint32) (x, y uint16) { return zorder.Deinterleave(key) }
+
+// SearchBox visits every entry whose decoded point lies inside the inclusive
+// rectangle [x1,x2]×[y1,y2]. It decomposes the box into Z-order intervals
+// (at most ~48 by default), runs each as an ordinary 1-D Search, and filters
+// the residual false positives exactly. Returning false from visit stops the
+// scan. Safe for concurrent use with Insert, like Search.
+func (ix *Index) SearchBox(x1, y1, x2, y2 uint16, visit func(x, y uint16, ref uint32) bool) {
+	box := zorder.Box{X1: x1, Y1: y1, X2: x2, Y2: y2}.Normalize()
+	stopped := false
+	for _, iv := range zorder.Decompose(box, 48) {
+		ix.Search(iv.Lo, iv.Hi, func(key, ref uint32) bool {
+			x, y := zorder.Deinterleave(key)
+			if box.Contains(x, y) {
+				if !visit(x, y, ref) {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}

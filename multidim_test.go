@@ -1,0 +1,97 @@
+package pimtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeXY(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		x, y := uint16(i*7), uint16(i*13)
+		gx, gy := DecodeXY(EncodeXY(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	}
+}
+
+func TestSearchBoxMatchesBruteForce(t *testing.T) {
+	ix, err := NewIndex(1<<14, IndexOptions{MergeRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	type pt struct{ x, y uint16 }
+	pts := make([]pt, 4000)
+	for i := range pts {
+		p := pt{uint16(rng.Intn(1 << 16)), uint16(rng.Intn(1 << 16))}
+		pts[i] = p
+		ix.Insert(EncodeXY(p.x, p.y), uint32(i))
+		if ix.NeedsMaintenance() {
+			ix.Maintain(func(uint32) bool { return true })
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		x1 := uint16(rng.Intn(1 << 16))
+		y1 := uint16(rng.Intn(1 << 16))
+		x2 := x1 + uint16(rng.Intn(1<<13))
+		y2 := y1 + uint16(rng.Intn(1<<13))
+		if x2 < x1 {
+			x2 = ^uint16(0)
+		}
+		if y2 < y1 {
+			y2 = ^uint16(0)
+		}
+		want := map[uint32]bool{}
+		for i, p := range pts {
+			if p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2 {
+				want[uint32(i)] = true
+			}
+		}
+		got := map[uint32]bool{}
+		ix.SearchBox(x1, y1, x2, y2, func(x, y uint16, ref uint32) bool {
+			if x < x1 || x > x2 || y < y1 || y > y2 {
+				t.Fatalf("false positive (%d,%d) for box (%d,%d)-(%d,%d)", x, y, x1, y1, x2, y2)
+			}
+			got[ref] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("box (%d,%d)-(%d,%d): got %d points, want %d", x1, y1, x2, y2, len(got), len(want))
+		}
+		for ref := range want {
+			if !got[ref] {
+				t.Fatalf("missing point ref %d", ref)
+			}
+		}
+	}
+}
+
+func TestSearchBoxEarlyStop(t *testing.T) {
+	ix, _ := NewIndex(1024, IndexOptions{})
+	for i := 0; i < 100; i++ {
+		ix.Insert(EncodeXY(uint16(i), uint16(i)), uint32(i))
+	}
+	n := 0
+	ix.SearchBox(0, 0, ^uint16(0), ^uint16(0), func(x, y uint16, ref uint32) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestSearchBoxNormalizesCorners(t *testing.T) {
+	ix, _ := NewIndex(128, IndexOptions{})
+	ix.Insert(EncodeXY(50, 50), 1)
+	n := 0
+	// Swapped corners must still find the point.
+	ix.SearchBox(60, 60, 40, 40, func(x, y uint16, ref uint32) bool {
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("normalized box found %d, want 1", n)
+	}
+}

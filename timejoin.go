@@ -1,0 +1,195 @@
+package pimtree
+
+import (
+	"fmt"
+
+	"pimtree/internal/btree"
+	"pimtree/internal/core"
+	"pimtree/internal/join"
+	"pimtree/internal/kv"
+	"pimtree/internal/window"
+)
+
+// TimeJoinOptions configures an incremental time-based band join — the
+// paper's Section 2.1 notes the approach carries to time-based windows; this
+// is that extension. Tuples carry logical timestamps (any non-decreasing
+// uint64: nanoseconds, milliseconds, event time...); a tuple stays in its
+// window while now - ts < Span.
+type TimeJoinOptions struct {
+	Span    uint64 // window duration in timestamp units (required)
+	Self    bool   // self-join: one stream, one window
+	Diff    uint32 // band half-width
+	OnMatch func(Match)
+}
+
+// TimeJoin is an incremental time-window band join. Not safe for concurrent
+// use.
+type TimeJoin struct {
+	opts    TimeJoinOptions
+	rings   [2]*window.TimeRing
+	idxs    [2]*btree.Tree
+	caps    [2]int
+	matches uint64
+	tuples  uint64
+}
+
+// NewTimeJoin builds an incremental time-based join operator.
+func NewTimeJoin(o TimeJoinOptions) (*TimeJoin, error) {
+	if o.Span == 0 {
+		return nil, fmt.Errorf("pimtree: time window span must be positive")
+	}
+	j := &TimeJoin{opts: o}
+	j.rings[0] = window.NewTimeRing(o.Span, 1024)
+	j.idxs[0] = btree.New()
+	if o.Self {
+		j.rings[1] = j.rings[0]
+		j.idxs[1] = j.idxs[0]
+	} else {
+		j.rings[1] = window.NewTimeRing(o.Span, 1024)
+		j.idxs[1] = btree.New()
+	}
+	j.caps[0] = j.rings[0].Capacity()
+	j.caps[1] = j.rings[1].Capacity()
+	return j, nil
+}
+
+// Push processes one tuple with timestamp ts (non-decreasing per stream; the
+// opposite stream's clock is advanced too so expiry is symmetric). It
+// returns the number of matches produced.
+func (j *TimeJoin) Push(s StreamID, key uint32, ts uint64) int {
+	own, opp := j.sid(s), j.oppID(s)
+	ownRing, oppRing := j.rings[own], j.rings[opp]
+	ownIdx, oppIdx := j.idxs[own], j.idxs[opp]
+
+	// Evict expired tuples of the opposite window before the lookup.
+	oppRing.AdvanceTime(ts, func(p kv.Pair) { oppIdx.Delete(p) })
+
+	lo := key - j.opts.Diff
+	if lo > key {
+		lo = 0
+	}
+	hi := key + j.opts.Diff
+	if hi < key {
+		hi = ^uint32(0)
+	}
+	probeSeq := ownRing.Now()
+	matches := 0
+	oppIdx.Query(lo, hi, func(p kv.Pair) bool {
+		if oppRing.Live(p.Ref) {
+			matches++
+			if j.opts.OnMatch != nil {
+				_, seq := oppRing.Get(p.Ref)
+				j.opts.OnMatch(Match{ProbeStream: s, ProbeSeq: probeSeq, MatchSeq: seq})
+			}
+		}
+		return true
+	})
+
+	ref, _ := ownRing.Append(key, ts, func(p kv.Pair) { ownIdx.Delete(p) })
+	ownIdx.Insert(kv.Pair{Key: key, Ref: ref})
+	// Time windows are unbounded in population; ring growth re-homes refs,
+	// so the index is rebuilt when it happens.
+	if ownRing.NeedsReindex(j.caps[own]) {
+		j.caps[own] = ownRing.Capacity()
+		ownIdx.Reset()
+		mask := uint64(ownRing.Capacity() - 1)
+		ownRing.Scan(func(key uint32, seq uint64, _ uint64) bool {
+			ownIdx.Insert(kv.Pair{Key: key, Ref: uint32(seq & mask)})
+			return true
+		})
+	}
+	j.matches += uint64(matches)
+	j.tuples++
+	return matches
+}
+
+// Matches returns the total number of matches produced so far.
+func (j *TimeJoin) Matches() uint64 { return j.matches }
+
+// Tuples returns the number of tuples pushed so far.
+func (j *TimeJoin) Tuples() uint64 { return j.tuples }
+
+// WindowCount returns the live population of a stream's window.
+func (j *TimeJoin) WindowCount(s StreamID) int { return j.rings[j.sid(s)].Count() }
+
+func (j *TimeJoin) sid(s StreamID) int {
+	if j.opts.Self {
+		return 0
+	}
+	return int(s)
+}
+
+func (j *TimeJoin) oppID(s StreamID) int {
+	if j.opts.Self {
+		return 0
+	}
+	return 1 - int(s)
+}
+
+// TimedArrival is one tuple with an event timestamp for the batch-parallel
+// time join.
+type TimedArrival struct {
+	Stream StreamID
+	Key    uint32
+	TS     uint64
+}
+
+// ParallelTimeOptions configures the multicore time-window band join — the
+// time-based variant of the paper's Section 4 algorithm, where timestamps
+// replace the count-window boundary snapshots.
+type ParallelTimeOptions struct {
+	Threads  int
+	TaskSize int
+	Span     uint64 // window duration in timestamp units (required)
+	MaxLive  int    // upper bound on simultaneously live tuples per window (required)
+	Self     bool
+	Diff     uint32
+	Index    IndexOptions // PIM-Tree tuning (merge ratio defaults to 1)
+	OnMatch  func(Match)  // observes matches in arrival order
+}
+
+// RunParallelTime executes the parallel shared-index time-window join over
+// timestamp-ordered arrivals.
+func RunParallelTime(arrivals []TimedArrival, o ParallelTimeOptions) (RunStats, error) {
+	if o.Span == 0 {
+		return RunStats{}, fmt.Errorf("pimtree: Span must be positive")
+	}
+	if o.MaxLive <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: MaxLive must be positive")
+	}
+	mergeRatio := o.Index.MergeRatio
+	if mergeRatio == 0 {
+		mergeRatio = 1
+	}
+	cfg := join.SharedTimeConfig{
+		Threads:  o.Threads,
+		TaskSize: o.TaskSize,
+		Span:     o.Span,
+		MaxLive:  o.MaxLive,
+		Self:     o.Self,
+		Band:     join.Band{Diff: o.Diff},
+		PIM: core.PIMTreeConfig{
+			MergeRatio:     mergeRatio,
+			InsertionDepth: o.Index.InsertionDepth,
+		},
+	}
+	if o.OnMatch != nil {
+		cb := o.OnMatch
+		cfg.Sink = func(s uint8, probe, match uint64) {
+			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+		}
+	}
+	in := make([]join.TimedArrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = join.TimedArrival{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}
+	}
+	st := join.RunSharedTime(in, cfg)
+	return RunStats{
+		Tuples:    st.Tuples,
+		Matches:   st.Matches,
+		Elapsed:   st.Elapsed,
+		Mtps:      st.Mtps(),
+		Merges:    st.Merges,
+		MergeTime: st.MergeTime,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package pimtree
+
+import "testing"
+
+func TestTimeJoinBasics(t *testing.T) {
+	j, err := NewTimeJoin(TimeJoinOptions{Span: 100, Diff: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Push(R, 42, 0)
+	if n := j.Push(S, 42, 50); n != 1 {
+		t.Fatalf("in-window match count = %d, want 1", n)
+	}
+	// ts=150: the R tuple (ts=0) is 150 old >= span 100 — expired.
+	if n := j.Push(S, 42, 150); n != 0 {
+		t.Fatalf("expired tuple matched (%d)", n)
+	}
+	if j.Matches() != 1 || j.Tuples() != 3 {
+		t.Fatalf("Matches=%d Tuples=%d", j.Matches(), j.Tuples())
+	}
+}
+
+func TestTimeJoinSelf(t *testing.T) {
+	var got []Match
+	j, err := NewTimeJoin(TimeJoinOptions{
+		Span: 10, Self: true, Diff: 5,
+		OnMatch: func(m Match) { got = append(got, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Push(R, 100, 0)
+	j.Push(R, 103, 5) // matches 100
+	j.Push(R, 200, 9) // no match
+	if len(got) != 1 {
+		t.Fatalf("OnMatch saw %d, want 1", len(got))
+	}
+	if j.WindowCount(R) != 3 {
+		t.Fatalf("window count = %d, want 3", j.WindowCount(R))
+	}
+}
+
+func TestTimeJoinGrowthKeepsCorrectness(t *testing.T) {
+	// Push enough tuples at the same instant that the ring must grow, then
+	// verify matches still resolve.
+	j, err := NewTimeJoin(TimeJoinOptions{Span: 1 << 40, Self: true, Diff: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		j.Push(R, 7, uint64(i))
+	}
+	// Every tuple matches all predecessors: n*(n-1)/2.
+	want := uint64(n * (n - 1) / 2)
+	if j.Matches() != want {
+		t.Fatalf("Matches = %d, want %d", j.Matches(), want)
+	}
+}
+
+func TestTimeJoinValidation(t *testing.T) {
+	if _, err := NewTimeJoin(TimeJoinOptions{Span: 0}); err == nil {
+		t.Fatal("zero span accepted")
+	}
+}
+
+func TestRunParallelTimeMatchesSerial(t *testing.T) {
+	// Build a timed workload and compare the parallel time join against the
+	// incremental serial TimeJoin on identical input.
+	const n = 8000
+	const span = 500
+	arr := make([]TimedArrival, n)
+	u1 := UniformSource(70)
+	ts := uint64(0)
+	for i := range arr {
+		ts += uint64(i % 3)
+		s := R
+		if i%2 == 1 {
+			s = S
+		}
+		arr[i] = TimedArrival{Stream: s, Key: u1.Next() % 4096, TS: ts}
+	}
+
+	serial, err := NewTimeJoin(TimeJoinOptions{Span: span, Diff: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		serial.Push(a.Stream, a.Key, a.TS)
+	}
+
+	st, err := RunParallelTime(arr, ParallelTimeOptions{
+		Threads: 3, TaskSize: 4, Span: span, MaxLive: 4096, Diff: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != serial.Matches() {
+		t.Fatalf("parallel time join matches = %d, serial = %d", st.Matches, serial.Matches())
+	}
+	if st.Mtps <= 0 {
+		t.Fatal("throughput missing")
+	}
+}
+
+func TestRunParallelTimeValidation(t *testing.T) {
+	if _, err := RunParallelTime(nil, ParallelTimeOptions{MaxLive: 4}); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	if _, err := RunParallelTime(nil, ParallelTimeOptions{Span: 10}); err == nil {
+		t.Fatal("zero MaxLive accepted")
+	}
+}

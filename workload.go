@@ -1,0 +1,72 @@
+package pimtree
+
+import (
+	"pimtree/internal/stream"
+)
+
+// KeySource produces a stream of join-attribute values. All sources returned
+// by this package are deterministic for a given seed.
+type KeySource interface {
+	Next() uint32
+}
+
+// KeySpace is the scale unit of the join-attribute domain: uniform keys lie
+// in [0, KeySpace); skewed and drifting sources may emit keys up to twice
+// that (distribution values in [0, 2) map linearly onto uint32), which keeps
+// a drifting Gaussian inside the domain at the paper's fastest drift rate.
+const KeySpace = stream.KeySpace
+
+// UniformSource draws keys uniformly from [0, KeySpace).
+func UniformSource(seed int64) KeySource { return stream.NewUniform(seed) }
+
+// GaussianSource draws keys from N(mu, sigma) over the unit interval scaled
+// to the key space (the paper's skew workload uses mu=0.5, sigma=0.125).
+func GaussianSource(seed int64, mu, sigma float64) KeySource {
+	return stream.NewGaussian(seed, mu, sigma)
+}
+
+// GammaSource draws keys from a normalized Gamma(k, theta) distribution.
+func GammaSource(seed int64, k, theta float64) KeySource {
+	return stream.NewGamma(seed, k, theta)
+}
+
+// DriftingGaussianSource reproduces the paper's three-phase drifting
+// workload: fixed N(0.5, 0.125) for phase1 tuples, a linear mean drift to
+// 0.5+r over phase2 tuples, then fixed at the shifted mean.
+func DriftingGaussianSource(seed int64, r float64, phase1, phase2 int) KeySource {
+	return stream.NewShiftingGaussian(seed, r, phase1, phase2)
+}
+
+// Interleave merges two key sources into n arrivals where shareS is the
+// probability the next tuple belongs to stream S (0.5 = symmetric).
+func Interleave(seed int64, r, s KeySource, shareS float64, n int) []Arrival {
+	in := stream.NewInterleaver(seed, r, s, shareS)
+	out := make([]Arrival, n)
+	for i := range out {
+		a := in.Next()
+		out[i] = Arrival{Stream: StreamID(a.Stream), Key: a.Key}
+	}
+	return out
+}
+
+// SelfArrivals materializes n tuples of a single stream for self-joins.
+func SelfArrivals(src KeySource, n int) []Arrival {
+	out := make([]Arrival, n)
+	for i := range out {
+		out[i] = Arrival{Stream: R, Key: src.Next()}
+	}
+	return out
+}
+
+// DiffForMatchRate returns the band half-width that yields an expected match
+// rate of sigmaS against a window of w uniform keys (closed form).
+func DiffForMatchRate(w int, sigmaS float64) uint32 {
+	return stream.UniformDiff(w, sigmaS)
+}
+
+// CalibrateDiff empirically finds the band half-width hitting a target match
+// rate for an arbitrary key distribution (the paper's diff adjustment for
+// skewed workloads).
+func CalibrateDiff(mk func(seed int64) KeySource, w int, sigmaS float64) uint32 {
+	return stream.CalibrateDiff(func(seed int64) stream.KeyGen { return mk(seed) }, w, sigmaS)
+}
