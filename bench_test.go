@@ -1,8 +1,8 @@
 // Benchmarks: one testing.B target per figure of the paper's evaluation
-// (Figures 8a–14) plus the DESIGN.md ablations. Each benchmark runs a single
-// representative configuration of the figure's sweep at a size that keeps
-// `go test -bench=.` tractable; the full sweeps (the actual figure series)
-// are produced by cmd/pimbench (see EXPERIMENTS.md).
+// (Figures 8a–14) plus the repository's ablations. Each benchmark runs a
+// single representative configuration of the figure's sweep at a size that
+// keeps `go test -bench=.` tractable; the full sweeps (the actual figure
+// series) are produced by cmd/pimbench (see README.md).
 //
 // Throughput is additionally reported as Mtps (million tuples per second),
 // the unit used by every figure.

@@ -1,7 +1,8 @@
-// Command pimbench regenerates the paper's evaluation figures. Each
-// experiment prints the series the corresponding figure plots, as a
-// tab-separated table (see DESIGN.md section 4 for the mapping and
-// EXPERIMENTS.md for paper-vs-measured results).
+// Command pimbench regenerates the paper's evaluation figures plus this
+// repository's own ablations (including the sharded-vs-shared runtime
+// comparison). Each experiment prints the series the corresponding figure
+// plots, as a tab-separated table (see README.md for the experiment list
+// and docs/ARCHITECTURE.md for the paper-to-package mapping).
 //
 // Usage:
 //

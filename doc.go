@@ -3,7 +3,7 @@
 // built on it, reproducing "Parallel Index-based Stream Join on a Multicore
 // CPU" (Shahvarani & Jacobsen, SIGMOD 2020).
 //
-// The package offers three levels of API:
+// The package offers four levels of API:
 //
 //   - Index: the PIM-Tree as a standalone concurrent sliding-window index —
 //     a two-stage structure whose immutable component serves lock-free
@@ -19,13 +19,27 @@
 //     queue feeding any number of workers, order-preserving result
 //     propagation, and non-blocking index merges.
 //
+//   - RunSharded: the key-range sharded parallel join. The key domain is
+//     split into K contiguous ranges, each owned by an independent
+//     single-writer join instance fed through batched per-shard queues; a
+//     band probe fans out to every shard whose range intersects
+//     [key-Diff, key+Diff] (at most two adjacent shards when Diff is below
+//     the shard width), and an order-preserving merge stage re-sequences
+//     matches into global arrival order. Sharding trades routing work for
+//     the complete absence of index-level synchronization, and produces the
+//     identical match multiset as the single-threaded Join. The Partitioner
+//     hook (RangePartition, QuantilePartition, or a custom implementation)
+//     controls the shard boundaries, which is how skewed key distributions
+//     stay balanced.
+//
 // Workload helpers (UniformSource, GaussianSource, GammaSource,
 // DriftingGaussianSource, Interleave) regenerate the paper's synthetic
 // streams; DiffForMatchRate and CalibrateDiff pick band widths that hit a
 // target match rate.
 //
 // The repository also contains the full evaluation harness: cmd/pimbench
-// regenerates every figure of the paper's evaluation section (see DESIGN.md
-// and EXPERIMENTS.md), and cmd/pimjoin runs ad-hoc joins from the command
-// line.
+// regenerates every figure of the paper's evaluation section plus the
+// repository's own ablations, including the sharded-vs-shared runtime
+// comparison (see docs/ARCHITECTURE.md for the paper-to-package map), and
+// cmd/pimjoin runs ad-hoc joins from the command line.
 package pimtree

@@ -77,6 +77,58 @@ func ExampleRunParallel() {
 	// Output: 4 tuples, 2 matches
 }
 
+// ExampleRunSharded runs the key-range sharded join: tuples are routed to
+// independent single-writer join instances by key range, and matches come
+// back in global arrival order.
+func ExampleRunSharded() {
+	arrivals := []pimtree.Arrival{
+		{Stream: pimtree.R, Key: 100},
+		{Stream: pimtree.S, Key: 101},
+		{Stream: pimtree.R, Key: 1 << 31},
+		{Stream: pimtree.S, Key: 1<<31 + 1},
+	}
+	st, _ := pimtree.RunSharded(arrivals, pimtree.ShardedOptions{
+		JoinOptions: pimtree.JoinOptions{
+			WindowR: 64,
+			WindowS: 64,
+			Diff:    1,
+			Backend: pimtree.PIMTree,
+		},
+		Shards: 2, // keys below 2^31 in shard 0, the rest in shard 1
+	})
+	fmt.Println(st.Tuples, "tuples,", st.Matches, "matches")
+	// Output: 4 tuples, 2 matches
+}
+
+// ExampleRunSharded_partitioner balances a skewed key distribution across
+// shards by cutting the domain at sample quantiles instead of equal widths.
+// Any type with Shards() and ShardOf(key) methods plugs in the same way.
+func ExampleRunSharded_partitioner() {
+	// Nearly all keys fall in a narrow band; equal-width shard ranges
+	// would leave most shards idle.
+	src := pimtree.GaussianSource(7, 0.5, 0.125)
+	sample := make([]uint32, 4096)
+	for i := range sample {
+		sample[i] = src.Next()
+	}
+	part := pimtree.QuantilePartition(sample, 4)
+
+	arrivals := pimtree.Interleave(8,
+		pimtree.GaussianSource(9, 0.5, 0.125),
+		pimtree.GaussianSource(10, 0.5, 0.125), 0.5, 10000)
+	st, _ := pimtree.RunSharded(arrivals, pimtree.ShardedOptions{
+		JoinOptions: pimtree.JoinOptions{
+			WindowR: 256,
+			WindowS: 256,
+			Diff:    0, // exact key matches only
+			Backend: pimtree.PIMTree,
+		},
+		Partitioner: part,
+	})
+	fmt.Println("shards:", part.Shards(), "tuples:", st.Tuples)
+	// Output: shards: 4 tuples: 10000
+}
+
 // ExampleNewIndex uses the PIM-Tree directly as a sliding-window index.
 func ExampleNewIndex() {
 	ix, _ := pimtree.NewIndex(1024, pimtree.IndexOptions{MergeRatio: 0.5})

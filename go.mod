@@ -1,0 +1,3 @@
+module pimtree
+
+go 1.24

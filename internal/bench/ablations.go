@@ -27,7 +27,7 @@ func init() {
 }
 
 // runAblCSSFanout quantifies how much of the two-stage design's advantage
-// comes from the high-fanout immutable layout (DESIGN.md ablation 1).
+// comes from the high-fanout immutable layout (ablation 1).
 func runAblCSSFanout(cfg Config, out io.Writer) {
 	w := 1 << 15
 	if cfg.Scale == Quick {
@@ -51,7 +51,7 @@ func runAblCSSFanout(cfg Config, out io.Writer) {
 }
 
 // runAblSingleLock quantifies the value of per-subindex locking under
-// parallel load (DESIGN.md ablation 2).
+// parallel load (ablation 2).
 func runAblSingleLock(cfg Config, out io.Writer) {
 	w := 1 << 15
 	if cfg.Scale == Quick {
@@ -80,7 +80,7 @@ func runAblSingleLock(cfg Config, out io.Writer) {
 }
 
 // runAblEdgeScan shows the cost of the unindexed-region linear scan as the
-// task backlog grows with task size (DESIGN.md ablation 3: large tasks delay
+// task backlog grows with task size (ablation 3: large tasks delay
 // edge advancement, lengthening every lookup's linear component).
 func runAblEdgeScan(cfg Config, out io.Writer) {
 	w := 1 << 14

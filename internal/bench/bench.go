@@ -1,7 +1,8 @@
 // Package bench defines the figure-regeneration experiments: one experiment
 // per table/figure panel of the paper's evaluation (Figures 8a–14), each
-// printing the same series the figure plots, plus the ablation experiments
-// called out in DESIGN.md.
+// printing the same series the figure plots, plus the repository's own
+// ablation experiments (abl-*), including the key-range sharded runtime
+// comparisons.
 //
 // Experiments are parameterized by a Scale so the same code serves fast CI
 // runs (Quick), interactive runs (Default), and full-range reproductions
@@ -24,7 +25,7 @@ import (
 type Scale int
 
 // The three scales. Paper mode runs the figure's full published range where
-// feasible on commodity hardware; see EXPERIMENTS.md for the mapping.
+// feasible on commodity hardware.
 const (
 	Quick Scale = iota
 	Default

@@ -12,9 +12,9 @@
 //   - B-link-style side pointers and high keys so readers traverse safely
 //     while structure modifications are in flight.
 //
-// Two deliberate simplifications relative to the original system are
-// documented in DESIGN.md: structure modifications (splits and parent
-// updates) are serialized on a small mutex rather than being fully
+// Two deliberate simplifications relative to the original system: structure
+// modifications (splits and parent updates) are serialized on a small mutex
+// rather than being fully
 // latch-free (reads and updates stay lock-free; SMOs are rare and
 // amortized), and garbage reclamation is delegated to the Go garbage
 // collector, which plays the role of the original's epoch manager. Neither

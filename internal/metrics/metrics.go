@@ -1,8 +1,7 @@
 // Package metrics provides the measurement plumbing for the reproduction:
 //
 //   - a software memory-traffic tracer that substitutes for the hardware
-//     memory-bandwidth counters used in the paper's Figure 11d (see DESIGN.md,
-//     substitution table),
+//     memory-bandwidth counters used in the paper's Figure 11d,
 //   - per-step cost accumulators for the IBWJ step breakdown (Figure 9b),
 //   - a latency recorder with percentiles (Figure 10d),
 //   - small helpers for expressing throughput in million tuples per second,

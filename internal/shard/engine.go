@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"time"
+
+	"pimtree/internal/btree"
+	"pimtree/internal/bwtree"
+	"pimtree/internal/core"
+	"pimtree/internal/join"
+	"pimtree/internal/kv"
+)
+
+// opKind discriminates the two commands a shard processes.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opProbe
+)
+
+// op is one routed command. Ops reach a shard in global arrival order
+// (batching never reorders a shard's FIFO), which is what makes the
+// single-writer engine exact: a probe sees precisely the inserts routed
+// before it and filters liveness by the [te, tl) sequence window captured at
+// admission.
+type op struct {
+	kind   opKind
+	stream uint8  // store slot: owner stream for inserts, probed stream for probes
+	key    uint32 // insert key
+	lo, hi uint32 // probe band range
+	seq    uint64 // insert: the tuple's global per-stream sequence
+	te, tl uint64 // watermark (inserts: te only) / probe window bounds
+	idx    int    // probe: arrival index for the result slot
+	bucket int    // probe: fan-out position within the arrival's result row
+}
+
+// store holds one stream's tuples resident in one shard: a ring of
+// (key, global seq) slots appended in sequence order and evicted from the
+// tail as the global window watermark passes them. At most W tuples of a
+// stream are globally live, so a shard (which holds a subset) never exceeds
+// the ring capacity.
+type store struct {
+	keys []uint32
+	seqs []uint64
+	mask uint64
+	head uint64 // append position (monotone)
+	tail uint64 // evict position (monotone)
+	wm   uint64 // highest eviction watermark applied
+}
+
+func newStore(w int) *store {
+	cap := pow2Ceil(uint64(w))
+	return &store{
+		keys: make([]uint32, cap),
+		seqs: make([]uint64, cap),
+		mask: cap - 1,
+	}
+}
+
+func pow2Ceil(n uint64) uint64 {
+	c := uint64(1)
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// evict drops tuples with seq < wm from the tail, reporting each dropped
+// (key, ref) pair so eager-delete indexes can remove it.
+func (s *store) evict(wm uint64, onEvict func(p kv.Pair)) {
+	for s.tail < s.head && s.seqs[s.tail&s.mask] < wm {
+		if onEvict != nil {
+			slot := s.tail & s.mask
+			onEvict(kv.Pair{Key: s.keys[slot], Ref: uint32(slot)})
+		}
+		s.tail++
+	}
+	if wm > s.wm {
+		s.wm = wm
+	}
+}
+
+// append stores a tuple and returns its ring reference.
+func (s *store) append(key uint32, seq uint64) (ref uint32) {
+	slot := s.head & s.mask
+	s.keys[slot] = key
+	s.seqs[slot] = seq
+	s.head++
+	return uint32(slot)
+}
+
+// resolve maps an index entry back to the slot's current occupant. A stale
+// entry (slot evicted, possibly reused) fails the key comparison or the
+// caller's [te, tl) filter.
+func (s *store) resolve(p kv.Pair) (seq uint64, ok bool) {
+	slot := uint64(p.Ref) & s.mask
+	return s.seqs[slot], s.keys[slot] == p.Key
+}
+
+// shardIndex is the per-stream index behaviour a shard engine needs; the
+// same contract as the serial join's index adapters, with liveness expressed
+// against global sequences instead of a local ring.
+type shardIndex interface {
+	Insert(p kv.Pair)
+	Remove(p kv.Pair) // eager backends only; no-op for delta-merge indexes
+	Query(lo, hi uint32, emit func(kv.Pair) bool)
+	Maintain(live func(kv.Pair) bool)
+	Merges() (int, time.Duration)
+	Eager() bool // whether evictions must call Remove
+}
+
+type pimShardIndex struct{ t *core.PIMTree }
+
+func (x *pimShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
+func (x *pimShardIndex) Remove(kv.Pair)                               {}
+func (x *pimShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
+func (x *pimShardIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
+func (x *pimShardIndex) Eager() bool                                  { return false }
+func (x *pimShardIndex) Maintain(live func(kv.Pair) bool) {
+	if x.t.NeedsMerge() {
+		x.t.MergeInPlace(live)
+	}
+}
+
+type imShardIndex struct{ t *core.IMTree }
+
+func (x *imShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
+func (x *imShardIndex) Remove(kv.Pair)                               {}
+func (x *imShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
+func (x *imShardIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
+func (x *imShardIndex) Eager() bool                                  { return false }
+func (x *imShardIndex) Maintain(live func(kv.Pair) bool) {
+	if x.t.NeedsMerge() {
+		x.t.Merge(live)
+	}
+}
+
+type btreeShardIndex struct{ t *btree.Tree }
+
+func (x *btreeShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
+func (x *btreeShardIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
+func (x *btreeShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
+func (x *btreeShardIndex) Maintain(func(kv.Pair) bool)                  {}
+func (x *btreeShardIndex) Merges() (int, time.Duration)                 { return 0, 0 }
+func (x *btreeShardIndex) Eager() bool                                  { return true }
+
+type bwShardIndex struct{ t *bwtree.Tree }
+
+func (x *bwShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
+func (x *bwShardIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
+func (x *bwShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
+func (x *bwShardIndex) Maintain(func(kv.Pair) bool)                  {}
+func (x *bwShardIndex) Merges() (int, time.Duration)                 { return 0, 0 }
+func (x *bwShardIndex) Eager() bool                                  { return true }
+
+// newShardIndex builds the configured index for one stream of one shard.
+// The window length w sizes the delta-merge thresholds exactly as in the
+// unsharded joins (per-shard indexes hold fewer entries, so merges are
+// correspondingly rarer).
+func newShardIndex(cfg Config, w int) shardIndex {
+	switch cfg.Index {
+	case join.IndexPIMTree:
+		return &pimShardIndex{t: core.NewPIMTree(w, cfg.PIM)}
+	case join.IndexIMTree:
+		return &imShardIndex{t: core.NewIMTree(w, cfg.IM)}
+	case join.IndexBTree:
+		return &btreeShardIndex{t: btree.New()}
+	case join.IndexBwTree:
+		return &bwShardIndex{t: bwtree.New(w, bwtree.Config{})}
+	default:
+		panic("shard: unsupported index kind (PIM-Tree, IM-Tree, B+-Tree, Bw-Tree)")
+	}
+}
+
+// engine is one shard: a single-writer join instance over the shard's key
+// range. All mutation happens on the shard's worker goroutine, so the engine
+// needs no locks of its own.
+type engine struct {
+	stores [2]*store
+	idxs   [2]shardIndex
+	evicts [2]func(kv.Pair) // Remove hooks for eager indexes (nil otherwise)
+	// scratch collects one probe's matched sequences; reused across ops.
+	scratch []uint64
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{}
+	e.stores[0] = newStore(cfg.WR)
+	e.idxs[0] = newShardIndex(cfg, cfg.WR)
+	if cfg.Self {
+		e.stores[1] = e.stores[0]
+		e.idxs[1] = e.idxs[0]
+	} else {
+		e.stores[1] = newStore(cfg.WS)
+		e.idxs[1] = newShardIndex(cfg, cfg.WS)
+	}
+	for i := 0; i < 2; i++ {
+		if e.idxs[i].Eager() {
+			idx := e.idxs[i]
+			e.evicts[i] = func(p kv.Pair) { idx.Remove(p) }
+		}
+	}
+	return e
+}
+
+// insert applies an insert op: advance the stream's eviction watermark, then
+// store and index the tuple.
+func (e *engine) insert(o *op) {
+	st := e.stores[o.stream]
+	st.evict(o.te, e.evicts[o.stream])
+	ref := st.append(o.key, o.seq)
+	e.idxs[o.stream].Insert(kv.Pair{Key: o.key, Ref: ref})
+}
+
+// probe applies a probe op against the probed stream's store and returns the
+// matched global sequences, deduplicated. Dedup matters only for the
+// delta-merge indexes: a stale entry whose ring slot was reused by a live
+// tuple of the same key resolves to the same sequence as the fresh entry.
+func (e *engine) probe(o *op) []uint64 {
+	st := e.stores[o.stream]
+	st.evict(o.te, e.evicts[o.stream])
+	e.scratch = e.scratch[:0]
+	e.idxs[o.stream].Query(o.lo, o.hi, func(p kv.Pair) bool {
+		seq, ok := st.resolve(p)
+		if !ok || seq < o.te || seq >= o.tl {
+			return true
+		}
+		for _, s := range e.scratch {
+			if s == seq {
+				return true
+			}
+		}
+		e.scratch = append(e.scratch, seq)
+		return true
+	})
+	if len(e.scratch) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), e.scratch...)
+}
+
+// maintain runs deferred index maintenance (delta merges) for both streams,
+// dropping entries that expired or whose slot was recycled.
+func (e *engine) maintain(self bool) {
+	for i := 0; i < 2; i++ {
+		if self && i == 1 {
+			break
+		}
+		st := e.stores[i]
+		e.idxs[i].Maintain(func(p kv.Pair) bool {
+			seq, ok := st.resolve(p)
+			return ok && seq >= st.wm
+		})
+	}
+}
+
+// merges sums merge statistics over both indexes.
+func (e *engine) merges(self bool) (int, time.Duration) {
+	m, t := e.idxs[0].Merges()
+	if self {
+		return m, t
+	}
+	m2, t2 := e.idxs[1].Merges()
+	return m + m2, t + t2
+}

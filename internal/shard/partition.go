@@ -1,0 +1,105 @@
+package shard
+
+import "sort"
+
+// Partitioner maps join keys to shards. Implementations must be monotone:
+// shard i owns a contiguous key range and ranges are ordered by shard id, so
+// any key interval [lo, hi] maps to the contiguous shard interval
+// [ShardOf(lo), ShardOf(hi)]. The router relies on this to fan a band probe
+// out to exactly the shards whose range intersects the probe interval.
+type Partitioner interface {
+	// Shards returns the number of shards the partitioner routes to.
+	Shards() int
+	// ShardOf returns the shard owning key, in [0, Shards()).
+	ShardOf(key uint32) int
+}
+
+// RangePartitioner splits the full uint32 key domain into k equal-width
+// contiguous ranges — the right default for uniform keys.
+type RangePartitioner struct {
+	k int
+}
+
+// NewRangePartitioner returns an equal-width partitioner over k shards.
+func NewRangePartitioner(k int) RangePartitioner {
+	if k <= 0 {
+		panic("shard: partitioner needs at least one shard")
+	}
+	return RangePartitioner{k: k}
+}
+
+// Shards returns the shard count.
+func (p RangePartitioner) Shards() int { return p.k }
+
+// ShardOf returns floor(key * k / 2^32), which is monotone in key.
+func (p RangePartitioner) ShardOf(key uint32) int {
+	return int(uint64(key) * uint64(p.k) >> 32)
+}
+
+// Range returns the inclusive key range [lo, hi] owned by a shard.
+func (p RangePartitioner) Range(shard int) (lo, hi uint32) {
+	lo = rangeStart(shard, p.k)
+	if shard == p.k-1 {
+		return lo, ^uint32(0)
+	}
+	return lo, rangeStart(shard+1, p.k) - 1
+}
+
+// rangeStart is the smallest key with ShardOf(key) == shard:
+// ceil(shard * 2^32 / k).
+func rangeStart(shard, k int) uint32 {
+	return uint32((uint64(shard)<<32 + uint64(k) - 1) / uint64(k))
+}
+
+// QuantilePartitioner splits the key domain at observed quantiles of a key
+// sample, so each shard receives a comparable tuple rate even when the key
+// distribution is heavily skewed (the Gaussian and Gamma workloads of
+// Figure 12b concentrate most keys in a narrow band, which would leave
+// equal-width shards idle).
+type QuantilePartitioner struct {
+	// bounds[i] is the first key owned by shard i+1; shard 0 starts at 0.
+	// Strictly increasing.
+	bounds []uint32
+}
+
+// NewQuantilePartitioner builds a partitioner with up to k shards whose
+// boundaries are the k-quantiles of the sample. Duplicate quantiles (very
+// heavy skew) collapse, so the effective shard count may be lower; Shards
+// reports the effective count.
+func NewQuantilePartitioner(sample []uint32, k int) QuantilePartitioner {
+	if k <= 0 {
+		panic("shard: partitioner needs at least one shard")
+	}
+	if len(sample) == 0 || k == 1 {
+		return QuantilePartitioner{}
+	}
+	sorted := append([]uint32(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var bounds []uint32
+	for i := 1; i < k; i++ {
+		b := sorted[i*len(sorted)/k]
+		if b > 0 && (len(bounds) == 0 || b > bounds[len(bounds)-1]) {
+			bounds = append(bounds, b)
+		}
+	}
+	return QuantilePartitioner{bounds: bounds}
+}
+
+// Shards returns the effective shard count.
+func (p QuantilePartitioner) Shards() int { return len(p.bounds) + 1 }
+
+// ShardOf returns the index of the range containing key.
+func (p QuantilePartitioner) ShardOf(key uint32) int {
+	return sort.Search(len(p.bounds), func(i int) bool { return key < p.bounds[i] })
+}
+
+// Range returns the inclusive key range [lo, hi] owned by a shard.
+func (p QuantilePartitioner) Range(shard int) (lo, hi uint32) {
+	if shard > 0 {
+		lo = p.bounds[shard-1]
+	}
+	if shard == len(p.bounds) {
+		return lo, ^uint32(0)
+	}
+	return lo, p.bounds[shard] - 1
+}

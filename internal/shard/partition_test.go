@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"testing"
+
+	"pimtree/internal/stream"
+)
+
+func TestRangePartitionerCoversDomain(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 7, 16, 64} {
+		p := NewRangePartitioner(k)
+		if p.Shards() != k {
+			t.Fatalf("k=%d: Shards() = %d", k, p.Shards())
+		}
+		prevHi := int64(-1)
+		for s := 0; s < k; s++ {
+			lo, hi := p.Range(s)
+			if int64(lo) != prevHi+1 {
+				t.Fatalf("k=%d shard %d: range starts at %d, want %d", k, s, lo, prevHi+1)
+			}
+			if lo > hi {
+				t.Fatalf("k=%d shard %d: empty range [%d, %d]", k, s, lo, hi)
+			}
+			if got := p.ShardOf(lo); got != s {
+				t.Fatalf("k=%d: ShardOf(lo=%d) = %d, want %d", k, lo, got, s)
+			}
+			if got := p.ShardOf(hi); got != s {
+				t.Fatalf("k=%d: ShardOf(hi=%d) = %d, want %d", k, hi, got, s)
+			}
+			prevHi = int64(hi)
+		}
+		if prevHi != int64(^uint32(0)) {
+			t.Fatalf("k=%d: domain ends at %d", k, prevHi)
+		}
+	}
+}
+
+func TestRangePartitionerMonotone(t *testing.T) {
+	p := NewRangePartitioner(13)
+	gen := stream.NewUniform(7)
+	prevKey, prevShard := uint32(0), 0
+	for i := 0; i < 2000; i++ {
+		k := gen.Next()
+		s := p.ShardOf(k)
+		if s < 0 || s >= 13 {
+			t.Fatalf("ShardOf(%d) = %d out of range", k, s)
+		}
+		if (k < prevKey) != (s <= prevShard) && s != prevShard {
+			// Full monotonicity check below; this loop just exercises bounds.
+			_ = s
+		}
+		prevKey, prevShard = k, s
+	}
+	// Monotone along an increasing key walk.
+	prev := 0
+	for k := uint64(0); k <= uint64(^uint32(0)); k += 1 << 24 {
+		s := p.ShardOf(uint32(k))
+		if s < prev {
+			t.Fatalf("ShardOf not monotone at key %d: %d after %d", k, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestQuantilePartitionerBalancesSkew(t *testing.T) {
+	// A Gaussian sample concentrates keys around the mean; quantile
+	// boundaries should split the load far more evenly than equal-width
+	// ranges do.
+	gen := stream.NewGaussian(11, 0.5, 0.125)
+	sample := make([]uint32, 1<<14)
+	for i := range sample {
+		sample[i] = gen.Next()
+	}
+	const k = 8
+	qp := NewQuantilePartitioner(sample, k)
+	if qp.Shards() != k {
+		t.Fatalf("effective shards = %d, want %d (sample should have distinct quantiles)", qp.Shards(), k)
+	}
+
+	counts := make([]int, k)
+	test := stream.NewGaussian(12, 0.5, 0.125)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		counts[qp.ShardOf(test.Next())]++
+	}
+	for s, c := range counts {
+		if c < n/(4*k) || c > n*4/k {
+			t.Fatalf("shard %d holds %d of %d keys — quantile split failed: %v", s, c, n, counts)
+		}
+	}
+
+	// Ranges are contiguous and consistent with ShardOf.
+	prevHi := int64(-1)
+	for s := 0; s < qp.Shards(); s++ {
+		lo, hi := qp.Range(s)
+		if int64(lo) != prevHi+1 {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, prevHi+1)
+		}
+		if qp.ShardOf(lo) != s || qp.ShardOf(hi) != s {
+			t.Fatalf("shard %d range [%d,%d] not owned by itself", s, lo, hi)
+		}
+		prevHi = int64(hi)
+	}
+	if prevHi != int64(^uint32(0)) {
+		t.Fatalf("domain ends at %d", prevHi)
+	}
+}
+
+func TestQuantilePartitionerDegenerateSample(t *testing.T) {
+	// All-identical sample: every quantile collapses; one shard remains.
+	sample := make([]uint32, 100)
+	for i := range sample {
+		sample[i] = 42
+	}
+	qp := NewQuantilePartitioner(sample, 8)
+	if qp.Shards() < 1 || qp.Shards() > 2 {
+		t.Fatalf("degenerate sample gave %d shards", qp.Shards())
+	}
+	for _, key := range []uint32{0, 41, 42, 43, ^uint32(0)} {
+		if s := qp.ShardOf(key); s < 0 || s >= qp.Shards() {
+			t.Fatalf("ShardOf(%d) = %d out of range", key, s)
+		}
+	}
+	if NewQuantilePartitioner(nil, 4).Shards() != 1 {
+		t.Fatal("empty sample should collapse to one shard")
+	}
+}

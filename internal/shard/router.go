@@ -1,0 +1,387 @@
+// Package shard implements the key-range sharded parallel join runtime: a
+// Router splits the key domain into K contiguous ranges, each owned by an
+// independent single-writer join engine fed by a batched FIFO of routed
+// commands, and an order-preserving merge stage re-sequences the per-shard
+// match output into global arrival order.
+//
+// Compared to the paper's shared-index runtime (internal/join.RunShared),
+// sharding removes all index-level synchronization: a shard's index is
+// touched only by its own goroutine. The price is routing — every tuple is
+// hashed to its owner shard, and a band probe whose interval
+// [key-Diff, key+Diff] straddles a shard boundary fans out to each shard
+// whose range it intersects (at most two adjacent shards whenever
+// Diff is smaller than the shard width, the common case).
+//
+// Exactness: ops reach each shard in global arrival order, and probes carry
+// the [te, tl) global-sequence window captured at admission, so the sharded
+// join produces the identical match multiset as the single-threaded IBWJ on
+// the same input regardless of batch size, shard count, or scheduling.
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimtree/internal/core"
+	"pimtree/internal/join"
+	"pimtree/internal/stream"
+)
+
+// Config configures a sharded join run.
+type Config struct {
+	Shards    int // shard count (default GOMAXPROCS); ignored when Part is set
+	BatchSize int // routed ops per shard batch before a size flush (default 64)
+	// FlushHorizon bounds batching latency: a shard's pending batch is
+	// flushed once this many arrivals have been routed since its oldest
+	// buffered op, even if the batch is not full. Without it a cold shard
+	// could hold a probe back a full window, stalling the ordered merge
+	// stage behind it. Default: the smaller window length.
+	FlushHorizon int
+
+	WR, WS int       // window lengths (WS ignored for self-joins)
+	Self   bool      // self-join: one stream, one window per shard
+	Band   join.Band // band predicate
+
+	Index join.IndexKind     // per-shard index backend (default PIM-Tree)
+	IM    core.IMTreeConfig  // IM-Tree knobs
+	PIM   core.PIMTreeConfig // PIM-Tree knobs
+
+	// Part overrides the default equal-width RangePartitioner; use a
+	// QuantilePartitioner for skewed key distributions. Must be monotone
+	// (see Partitioner).
+	Part Partitioner
+
+	Sink join.MatchSink // optional ordered result sink
+}
+
+// probeState tracks one arrival's completion across its fan-out shards,
+// padded to a cache line: shards completing adjacent arrivals would
+// otherwise false-share.
+type probeState struct {
+	pending   atomic.Int32
+	completed atomic.Bool
+	_         [64 - 5]byte
+}
+
+// pendingBatch is one shard's accumulating op buffer.
+type pendingBatch struct {
+	ops   []op
+	first int // arrival index of the oldest buffered op (-1 when empty)
+}
+
+// Router is the front end of the sharded runtime. Push routes arrivals;
+// Close drains the shards and returns the run's statistics. Push and Close
+// must be called from one goroutine; match propagation to the sink happens
+// concurrently on shard goroutines but always in global arrival order.
+//
+// A Router is sized for a bounded run of capacity arrivals (the batch shape
+// shared by all drivers in this repository); pushing beyond the capacity
+// panics.
+type Router struct {
+	cfg     Config
+	part    Partitioner
+	engines []*engine
+	chans   []chan []op
+	pend    []pendingBatch
+	wg      sync.WaitGroup
+
+	heads [2]uint64 // per-stream global sequence counters
+	wlen  [2]uint64
+	n     int // arrivals routed so far
+	cap   int
+
+	// Per-arrival completion records shared with shard workers.
+	probeStream []uint8
+	probeSeq    []uint64
+	results     [][][]uint64 // [arrival][fanout bucket][match seqs]
+	state       []probeState
+	routed      atomic.Int64 // arrivals fully published (workers read)
+
+	// Ordered propagation (same try-lock protocol as the shared runtime).
+	propLock atomic.Bool
+	propHead int
+	matches  uint64
+
+	// Flush accounting, readable after Close (or between Pushes) for tests
+	// and diagnostics.
+	sizeFlushes    int
+	horizonFlushes int
+	// probeRouted counts probe ops enqueued per shard (router-goroutine
+	// only) — the observable for fan-out tests and skew diagnostics.
+	probeRouted []int
+}
+
+// NewRouter builds a sharded runtime for a run of at most capacity arrivals
+// and starts one worker goroutine per shard.
+func NewRouter(cfg Config, capacity int) *Router {
+	if cfg.WR <= 0 {
+		panic("shard: WR must be positive")
+	}
+	if cfg.Self {
+		cfg.WS = cfg.WR
+	}
+	if cfg.WS <= 0 {
+		panic("shard: WS must be positive")
+	}
+	if cfg.Part == nil {
+		k := cfg.Shards
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		cfg.Part = NewRangePartitioner(k)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushHorizon <= 0 {
+		cfg.FlushHorizon = cfg.WR
+		if !cfg.Self && cfg.WS < cfg.FlushHorizon {
+			cfg.FlushHorizon = cfg.WS
+		}
+	}
+	k := cfg.Part.Shards()
+	r := &Router{
+		cfg:         cfg,
+		part:        cfg.Part,
+		engines:     make([]*engine, k),
+		chans:       make([]chan []op, k),
+		pend:        make([]pendingBatch, k),
+		wlen:        [2]uint64{uint64(cfg.WR), uint64(cfg.WS)},
+		cap:         capacity,
+		probeStream: make([]uint8, capacity),
+		probeSeq:    make([]uint64, capacity),
+		results:     make([][][]uint64, capacity),
+		state:       make([]probeState, capacity),
+		probeRouted: make([]int, k),
+	}
+	for i := range r.pend {
+		r.pend[i].first = -1
+	}
+	for s := 0; s < k; s++ {
+		r.engines[s] = newEngine(cfg)
+		r.chans[s] = make(chan []op, 4)
+		r.wg.Add(1)
+		go r.worker(s)
+	}
+	return r
+}
+
+// sid folds a stream id onto its store slot (self-joins use slot 0 only).
+func (r *Router) sid(s uint8) uint8 {
+	if r.cfg.Self {
+		return 0
+	}
+	return s
+}
+
+// clampShard keeps a partitioner result inside the shard array.
+func (r *Router) clampShard(s int) int {
+	if s < 0 {
+		return 0
+	}
+	if s >= len(r.engines) {
+		return len(r.engines) - 1
+	}
+	return s
+}
+
+// Push routes one arrival: a probe op to every shard whose range intersects
+// the band interval, then an insert op to the key's owner shard.
+func (r *Router) Push(a stream.Arrival) {
+	if r.n >= r.cap {
+		panic("shard: Push past router capacity")
+	}
+	i := r.n
+	own := r.sid(a.Stream)
+	opp := own
+	if !r.cfg.Self {
+		opp = r.sid(opposite(a.Stream))
+	}
+
+	// Probe: window bounds captured at admission. tl excludes tuples routed
+	// after this arrival (including, for self-joins, the tuple itself).
+	tl := r.heads[opp]
+	te := uint64(0)
+	if tl > r.wlen[opp] {
+		te = tl - r.wlen[opp]
+	}
+	lo, hi := r.cfg.Band.Range(a.Key)
+	s1 := r.clampShard(r.part.ShardOf(lo))
+	s2 := r.clampShard(r.part.ShardOf(hi))
+	r.probeStream[i] = a.Stream
+	r.probeSeq[i] = r.heads[own]
+	r.results[i] = make([][]uint64, s2-s1+1)
+	r.state[i].pending.Store(int32(s2 - s1 + 1))
+	for s := s1; s <= s2; s++ {
+		r.probeRouted[s]++
+		r.enqueue(s, op{
+			kind: opProbe, stream: opp, lo: lo, hi: hi,
+			te: te, tl: tl, idx: i, bucket: s - s1,
+		})
+	}
+
+	// Insert: the owner shard stores and indexes the tuple; the watermark
+	// lets it evict everything its stream has globally expired.
+	seq := r.heads[own]
+	r.heads[own]++
+	wm := uint64(0)
+	if seq+1 > r.wlen[own] {
+		wm = seq + 1 - r.wlen[own]
+	}
+	r.enqueue(r.clampShard(r.part.ShardOf(a.Key)), op{
+		kind: opInsert, stream: own, key: a.Key, seq: seq, te: wm,
+	})
+
+	r.n++
+	r.routed.Store(int64(r.n))
+	r.flushExpired()
+}
+
+// enqueue appends an op to a shard's pending batch, flushing on size.
+func (r *Router) enqueue(s int, o op) {
+	p := &r.pend[s]
+	if p.first < 0 {
+		p.first = r.n
+		if p.ops == nil {
+			p.ops = make([]op, 0, r.cfg.BatchSize)
+		}
+	}
+	p.ops = append(p.ops, o)
+	if len(p.ops) >= r.cfg.BatchSize {
+		r.sizeFlushes++
+		r.flush(s)
+	}
+}
+
+// flushExpired flushes every shard whose oldest buffered op has aged past
+// the flush horizon (the batching analogue of window expiry: an op may not
+// linger while the window slides a full length past it).
+func (r *Router) flushExpired() {
+	for s := range r.pend {
+		if f := r.pend[s].first; f >= 0 && r.n-f >= r.cfg.FlushHorizon {
+			r.horizonFlushes++
+			r.flush(s)
+		}
+	}
+}
+
+// flush ships a shard's pending batch to its worker.
+func (r *Router) flush(s int) {
+	p := &r.pend[s]
+	if len(p.ops) == 0 {
+		return
+	}
+	r.chans[s] <- p.ops
+	p.ops = nil
+	p.first = -1
+}
+
+// FlushCounts reports how many batch flushes were triggered by the size
+// bound and by the flush horizon.
+func (r *Router) FlushCounts() (size, horizon int) {
+	return r.sizeFlushes, r.horizonFlushes
+}
+
+// Matches returns the number of matches propagated so far. Safe to call
+// between Pushes; the count trails routing by at most the unflushed batches.
+func (r *Router) Matches() uint64 {
+	// propagate may run concurrently on workers; take the lock to read a
+	// consistent count.
+	for !r.propLock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	m := r.matches
+	r.propLock.Store(false)
+	return m
+}
+
+// Close flushes all pending batches, stops the workers, performs the final
+// ordered propagation, and returns the run's statistics (Elapsed is left to
+// the caller, which owns the clock).
+func (r *Router) Close() join.Stats {
+	for s := range r.pend {
+		r.flush(s)
+	}
+	for _, ch := range r.chans {
+		close(ch)
+	}
+	r.wg.Wait()
+	r.propagate()
+	st := join.Stats{Tuples: r.n, Matches: r.matches}
+	for _, e := range r.engines {
+		m, t := e.merges(r.cfg.Self)
+		st.Merges += m
+		st.MergeTime += t
+	}
+	return st
+}
+
+// worker is one shard's goroutine: apply each batch in FIFO order, run
+// deferred index maintenance, and volunteer for ordered propagation.
+func (r *Router) worker(s int) {
+	defer r.wg.Done()
+	e := r.engines[s]
+	for batch := range r.chans[s] {
+		for j := range batch {
+			o := &batch[j]
+			if o.kind == opInsert {
+				e.insert(o)
+				continue
+			}
+			r.results[o.idx][o.bucket] = e.probe(o)
+			if r.state[o.idx].pending.Add(-1) == 0 {
+				r.state[o.idx].completed.Store(true)
+			}
+		}
+		e.maintain(r.cfg.Self)
+		r.propagate()
+	}
+}
+
+// propagate is the order-preserving merge stage: under a try-lock, emit the
+// matches of every completed arrival at the queue head, in arrival order.
+// Within one arrival, buckets are emitted in shard order, which is key-range
+// order for a monotone partitioner.
+func (r *Router) propagate() {
+	if !r.propLock.CompareAndSwap(false, true) {
+		return
+	}
+	routed := int(r.routed.Load())
+	for r.propHead < routed && r.state[r.propHead].completed.Load() {
+		h := r.propHead
+		for _, bucket := range r.results[h] {
+			r.matches += uint64(len(bucket))
+			if r.cfg.Sink != nil {
+				for _, mseq := range bucket {
+					r.cfg.Sink(r.probeStream[h], r.probeSeq[h], mseq)
+				}
+			}
+		}
+		r.results[h] = nil
+		r.propHead++
+	}
+	r.propLock.Store(false)
+}
+
+// Run executes the sharded join over a pre-materialized arrival sequence and
+// returns its statistics — the sharded counterpart of join.RunShared.
+func Run(arrivals []stream.Arrival, cfg Config) join.Stats {
+	r := NewRouter(cfg, len(arrivals))
+	start := time.Now()
+	for _, a := range arrivals {
+		r.Push(a)
+	}
+	st := r.Close()
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// opposite returns the other stream id (mirrors internal/join).
+func opposite(s uint8) uint8 {
+	if s == stream.StreamR {
+		return stream.StreamS
+	}
+	return stream.StreamR
+}

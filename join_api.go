@@ -2,11 +2,13 @@ package pimtree
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"pimtree/internal/core"
 	"pimtree/internal/join"
 	"pimtree/internal/metrics"
+	"pimtree/internal/shard"
 	"pimtree/internal/stream"
 )
 
@@ -236,5 +238,115 @@ func RunParallel(arrivals []Arrival, o ParallelOptions) (RunStats, error) {
 		MergeTime:  st.MergeTime,
 		MeanMicros: st.Latency.MeanMicros,
 		P99Micros:  st.Latency.P99Micros,
+	}, nil
+}
+
+// Partitioner maps join keys to shards for the sharded runtime.
+// Implementations must be monotone: each shard owns a contiguous key range
+// and ranges are ordered by shard id, so a band probe's interval
+// [key-Diff, key+Diff] maps to a contiguous run of shards. RangePartition
+// and QuantilePartition construct the two built-in policies; custom
+// implementations plug in the same way.
+type Partitioner interface {
+	// Shards returns the number of shards the partitioner routes to.
+	Shards() int
+	// ShardOf returns the shard owning key, in [0, Shards()).
+	ShardOf(key uint32) int
+}
+
+// RangePartition returns a partitioner splitting the uint32 key domain into
+// shards equal-width contiguous ranges — the right default for uniform keys.
+func RangePartition(shards int) Partitioner {
+	if shards <= 0 {
+		shards = 1
+	}
+	return shard.NewRangePartitioner(shards)
+}
+
+// QuantilePartition returns a partitioner whose shard boundaries are the
+// quantiles of the given key sample, balancing per-shard load under skewed
+// key distributions. Heavy skew may collapse duplicate quantiles, so the
+// effective shard count (Shards) can be lower than requested.
+func QuantilePartition(sample []uint32, shards int) Partitioner {
+	if shards <= 0 {
+		shards = 1
+	}
+	return shard.NewQuantilePartitioner(sample, shards)
+}
+
+// ShardedOptions configures the key-range sharded parallel join. The
+// embedded JoinOptions carry the windows, band, backend, and index tuning of
+// the per-shard join instances; OnMatch observes matches in global arrival
+// order. Chained-index backends are not supported in sharded mode.
+type ShardedOptions struct {
+	JoinOptions
+	// Shards is the number of key-range shards, each served by its own
+	// worker goroutine and single-writer index (default GOMAXPROCS).
+	// Ignored when Partitioner is set.
+	Shards int
+	// BatchSize is the number of routed operations a shard accumulates
+	// before its queue is flushed (default 64). Larger batches amortize
+	// queue handoff; smaller batches shorten the ordered-merge delay.
+	BatchSize int
+	// Partitioner overrides the default equal-width key ranges; use
+	// QuantilePartition for skewed key distributions.
+	Partitioner Partitioner
+}
+
+// RunSharded executes the key-range sharded parallel band join over a batch
+// of arrivals: tuples are routed to Shards independent single-writer join
+// instances through batched per-shard queues, band probes fan out to every
+// shard whose range intersects [key-Diff, key+Diff], and an
+// order-preserving merge stage re-sequences matches into global arrival
+// order. It produces the identical match multiset as the single-threaded
+// Join on the same input.
+func RunSharded(arrivals []Arrival, o ShardedOptions) (RunStats, error) {
+	if o.WindowR <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
+	}
+	if !o.Self && o.WindowS <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
+	}
+	kind := o.Backend.kind()
+	if kind == join.IndexChainB || kind == join.IndexChainIB {
+		return RunStats{}, fmt.Errorf("pimtree: sharded runtime does not support the %v backend", o.Backend)
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := shard.Config{
+		Shards:    shards,
+		BatchSize: o.BatchSize,
+		WR:        o.WindowR,
+		WS:        o.WindowS,
+		Self:      o.Self,
+		Band:      join.Band{Diff: o.Diff},
+		Index:     kind,
+		IM:        core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
+		PIM: core.PIMTreeConfig{
+			MergeRatio:     o.Index.MergeRatio,
+			InsertionDepth: o.Index.InsertionDepth,
+		},
+		Part: o.Partitioner,
+	}
+	if o.OnMatch != nil {
+		cb := o.OnMatch
+		cfg.Sink = func(s uint8, probe, match uint64) {
+			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+		}
+	}
+	in := make([]stream.Arrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = stream.Arrival{Stream: uint8(a.Stream), Key: a.Key}
+	}
+	st := shard.Run(in, cfg)
+	return RunStats{
+		Tuples:    st.Tuples,
+		Matches:   st.Matches,
+		Elapsed:   st.Elapsed,
+		Mtps:      st.Mtps(),
+		Merges:    st.Merges,
+		MergeTime: st.MergeTime,
 	}, nil
 }

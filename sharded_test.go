@@ -1,0 +1,155 @@
+package pimtree
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collectSerial runs the single-threaded Join and returns its match multiset.
+func collectSerial(t *testing.T, arr []Arrival, o JoinOptions) []Match {
+	t.Helper()
+	var out []Match
+	o.OnMatch = func(m Match) { out = append(out, m) }
+	j, err := NewJoin(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		j.Push(a.Stream, a.Key)
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.ProbeStream != b.ProbeStream {
+			return a.ProbeStream < b.ProbeStream
+		}
+		if a.ProbeSeq != b.ProbeSeq {
+			return a.ProbeSeq < b.ProbeSeq
+		}
+		return a.MatchSeq < b.MatchSeq
+	})
+}
+
+// TestGoldenSharded pins the acceptance criterion of the sharded runtime:
+// RunSharded with 4 shards produces the identical match multiset — as
+// (ProbeStream, ProbeSeq, MatchSeq) triples — as the single-threaded Join on
+// the same input.
+func TestGoldenSharded(t *testing.T) {
+	const (
+		n    = 10000
+		w    = 256
+		seed = 12345
+	)
+	arr := Interleave(seed, UniformSource(seed+1), UniformSource(seed+2), 0.5, n)
+	diff := DiffForMatchRate(w, 2)
+
+	want := collectSerial(t, arr, JoinOptions{WindowR: w, WindowS: w, Diff: diff, Backend: PIMTree})
+	sortMatches(want)
+	// The golden workload's pinned match count (see TestGoldenEndToEnd).
+	if len(want) != 19356 {
+		t.Fatalf("serial oracle produced %d matches, want 19356", len(want))
+	}
+
+	var mu sync.Mutex
+	var got []Match
+	st, err := RunSharded(arr, ShardedOptions{
+		JoinOptions: JoinOptions{
+			WindowR: w, WindowS: w, Diff: diff, Backend: PIMTree,
+			OnMatch: func(m Match) {
+				mu.Lock()
+				got = append(got, m)
+				mu.Unlock()
+			},
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != uint64(len(want)) {
+		t.Fatalf("sharded matches = %d, want %d", st.Matches, len(want))
+	}
+	sortMatches(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs: sharded %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunShardedValidation covers the error paths of the public API.
+func TestRunShardedValidation(t *testing.T) {
+	arr := []Arrival{{Stream: R, Key: 1}}
+	if _, err := RunSharded(arr, ShardedOptions{JoinOptions: JoinOptions{WindowS: 4}}); err == nil {
+		t.Fatal("missing WindowR accepted")
+	}
+	if _, err := RunSharded(arr, ShardedOptions{JoinOptions: JoinOptions{WindowR: 4}}); err == nil {
+		t.Fatal("missing WindowS accepted")
+	}
+	if _, err := RunSharded(arr, ShardedOptions{
+		JoinOptions: JoinOptions{WindowR: 4, WindowS: 4, Backend: BChain},
+	}); err == nil {
+		t.Fatal("chained backend accepted by sharded runtime")
+	}
+	// Self-join needs only one window.
+	if _, err := RunSharded(arr, ShardedOptions{
+		JoinOptions: JoinOptions{WindowR: 4, Self: true},
+		Shards:      2,
+	}); err != nil {
+		t.Fatalf("self-join rejected: %v", err)
+	}
+}
+
+// TestRunShardedPartitionerHook checks that a custom Partitioner is honored
+// and that QuantilePartition balances a skewed workload across shards while
+// preserving the serial match multiset.
+func TestRunShardedPartitionerHook(t *testing.T) {
+	const (
+		n    = 8000
+		w    = 128
+		seed = 777
+	)
+	src := GaussianSource(seed, 0.5, 0.125)
+	arr := Interleave(seed+1, GaussianSource(seed+2, 0.5, 0.125), GaussianSource(seed+3, 0.5, 0.125), 0.5, n)
+	sample := make([]uint32, 4096)
+	for i := range sample {
+		sample[i] = src.Next()
+	}
+	diff := CalibrateDiff(func(s int64) KeySource { return GaussianSource(s, 0.5, 0.125) }, w, 2)
+
+	opts := JoinOptions{WindowR: w, WindowS: w, Diff: diff, Backend: PIMTree}
+	want := collectSerial(t, arr, opts)
+	sortMatches(want)
+
+	part := QuantilePartition(sample, 4)
+	if part.Shards() != 4 {
+		t.Fatalf("quantile partitioner collapsed to %d shards", part.Shards())
+	}
+	var mu sync.Mutex
+	var got []Match
+	opts.OnMatch = func(m Match) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}
+	st, err := RunSharded(arr, ShardedOptions{JoinOptions: opts, Partitioner: part, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortMatches(got)
+	if len(got) != len(want) {
+		t.Fatalf("matches = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if st.Tuples != n {
+		t.Fatalf("Tuples = %d, want %d", st.Tuples, n)
+	}
+}
