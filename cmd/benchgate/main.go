@@ -1,0 +1,207 @@
+// Command benchgate compares two pimbench JSON reports (see pimbench -json)
+// and fails when throughput regressed beyond a threshold — the comparator
+// behind CI's bench-smoke job and the committed BENCH_*.json baselines.
+//
+//	benchgate -baseline BENCH_PR2.json -current bench_current.json
+//
+// For every gated experiment (by default the abl-* ablations, whose numeric
+// columns are all Mtps), benchgate computes the geometric mean of the
+// throughput cells present in both reports and fails if the current geomean
+// falls more than -max-regress below the baseline's. Reports carry a
+// host-speed calibration (a fixed serial microbenchmark measured at report
+// time); comparisons are scaled by the calibration ratio, so a baseline
+// recorded on a slower or faster machine than the CI runner stays usable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pimtree/internal/bench"
+)
+
+// nonThroughputColumns are numeric columns of gated experiments that do not
+// measure Mtps and must not enter the comparison: counters, and
+// lower-is-better latency columns (which would invert the regression
+// direction — a latency improvement would read as a throughput drop).
+var nonThroughputColumns = map[string]bool{
+	"rebalances": true,
+	"migrated":   true,
+	"merges":     true,
+	"mean µs":    true,
+	"p99 µs":     true,
+}
+
+// nonThroughputSubstrings catches latency/time columns by fragment, so new
+// experiments whose units are microseconds or milliseconds stay out of the
+// throughput geomean without registering each column name here.
+var nonThroughputSubstrings = []string{"µs", "ms", "latency", "nanos"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("baseline", "", "baseline report (e.g. BENCH_PR2.json)")
+		curPath   = fs.String("current", "", "report of the run under test")
+		maxReg    = fs.Float64("max-regress", 0.25, "maximum tolerated throughput regression (fraction)")
+		calibrate = fs.Bool("calibrate", true, "scale by the reports' host calibration ratio")
+		prefix    = fs.String("prefix", "abl-", "gate experiments whose id has this prefix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -baseline and -current are required")
+		return 2
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+
+	scale := 1.0
+	if *calibrate && base.CalibMtps > 0 && cur.CalibMtps > 0 {
+		scale = cur.CalibMtps / base.CalibMtps
+	}
+	fmt.Fprintf(stdout, "benchgate: calibration baseline=%.3f current=%.3f scale=%.3f threshold=%.0f%%\n",
+		base.CalibMtps, cur.CalibMtps, scale, *maxReg*100)
+	if base.GOMAXPROCS != cur.GOMAXPROCS {
+		// The serial calibration corrects for single-thread speed, not core
+		// count, so parallel-scaling regressions are under-protected until
+		// the baseline is regenerated on a host shaped like the runner.
+		fmt.Fprintf(stdout, "benchgate: WARNING: GOMAXPROCS differs (baseline=%d, current=%d); "+
+			"parallel cells compare loosely — refresh the baseline from this host's report\n",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+
+	curByID := make(map[string]bench.ExperimentResult, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		curByID[e.ID] = e
+	}
+
+	failures := 0
+	gated := 0
+	for _, b := range base.Experiments {
+		if !strings.HasPrefix(b.ID, *prefix) {
+			continue
+		}
+		gated++
+		c, ok := curByID[b.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL %-16s missing from current report\n", b.ID)
+			failures++
+			continue
+		}
+		gBase, gCur, cells := compare(b.Table, c.Table)
+		if cells == 0 {
+			fmt.Fprintf(stdout, "FAIL %-16s no comparable throughput cells (refresh the baseline?)\n", b.ID)
+			failures++
+			continue
+		}
+		ratio := gCur / (gBase * scale)
+		status := "ok  "
+		if ratio < 1-*maxReg {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(stdout, "%s %-16s geomean %.4f -> %.4f Mtps over %d cells (%.0f%% of calibrated baseline)\n",
+			status, b.ID, gBase, gCur, cells, ratio*100)
+	}
+	if gated == 0 {
+		fmt.Fprintf(stdout, "FAIL no experiments with prefix %q in baseline\n", *prefix)
+		failures++
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "benchgate: %d failure(s)\n", failures)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchgate: pass")
+	return 0
+}
+
+// compare returns the geometric means of the throughput cells shared by the
+// two tables (matched by row label and column name) and the cell count.
+func compare(base, cur bench.Table) (gBase, gCur float64, cells int) {
+	bc := cellMap(base)
+	cc := cellMap(cur)
+	var sumB, sumC float64
+	for key, vb := range bc {
+		vc, ok := cc[key]
+		if !ok {
+			continue
+		}
+		sumB += math.Log(vb)
+		sumC += math.Log(vc)
+		cells++
+	}
+	if cells == 0 {
+		return 0, 0, 0
+	}
+	return math.Exp(sumB / float64(cells)), math.Exp(sumC / float64(cells)), cells
+}
+
+// cellMap extracts the positive numeric throughput cells of a table, keyed
+// by "<row label>|<column name>". The first column is the row label;
+// known non-throughput columns are skipped.
+func cellMap(t bench.Table) map[string]float64 {
+	out := make(map[string]float64)
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		for j := 1; j < len(row) && j < len(t.Columns); j++ {
+			if !isThroughputColumn(t.Columns[j]) {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil || v <= 0 {
+				continue
+			}
+			out[row[0]+"|"+t.Columns[j]] = v
+		}
+	}
+	return out
+}
+
+// isThroughputColumn reports whether a column measures Mtps (higher is
+// better) and may enter the gate's geomean.
+func isThroughputColumn(name string) bool {
+	lower := strings.ToLower(name)
+	if nonThroughputColumns[lower] {
+		return false
+	}
+	for _, frag := range nonThroughputSubstrings {
+		if strings.Contains(lower, frag) {
+			return false
+		}
+	}
+	return true
+}
+
+func load(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimtree/internal/bench"
+)
+
+func writeReport(t *testing.T, dir, name string, r bench.Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(calib float64, mtps ...float64) bench.Report {
+	rows := make([][]string, len(mtps))
+	for i, m := range mtps {
+		rows[i] = []string{
+			[]string{"step-skew", "drift", "gaussian"}[i%3],
+			fmt.Sprintf("%.4f", m),
+			"3", // rebalances column: must be ignored by the gate
+		}
+	}
+	return bench.Report{
+		CalibMtps: calib,
+		Experiments: []bench.ExperimentResult{{
+			Table: bench.Table{
+				ID:      "abl-adaptive",
+				Columns: []string{"workload", "Mtps", "rebalances"},
+				Rows:    rows,
+			},
+		}},
+	}
+}
+
+func gate(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestGatePassesOnEqualReports(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0, 2.0))
+	c := writeReport(t, dir, "cur.json", report(1.0, 2.0, 2.0, 2.0))
+	code, out := gate(t, "-baseline", b, "-current", c)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "pass") {
+		t.Fatalf("no pass verdict:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0, 2.0))
+	c := writeReport(t, dir, "cur.json", report(1.0, 1.0, 1.0, 1.0)) // -50%
+	code, out := gate(t, "-baseline", b, "-current", c)
+	if code != 1 || !strings.Contains(out, "FAIL abl-adaptive") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestGateToleratesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0, 2.0))
+	c := writeReport(t, dir, "cur.json", report(1.0, 1.7, 1.7, 1.7)) // -15%
+	if code, out := gate(t, "-baseline", b, "-current", c); code != 0 {
+		t.Fatalf("within-threshold run failed (exit %d):\n%s", code, out)
+	}
+	// Same drop fails under a tighter threshold.
+	if code, _ := gate(t, "-baseline", b, "-current", c, "-max-regress", "0.1"); code != 1 {
+		t.Fatal("tighter threshold did not fail")
+	}
+}
+
+// A slower host with proportionally slower results must pass: calibration
+// scaling is what keeps a baseline recorded on different hardware usable.
+func TestGateCalibrationScaling(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(2.0, 4.0, 4.0, 4.0))
+	c := writeReport(t, dir, "cur.json", report(1.0, 2.0, 2.0, 2.0)) // half speed, half calib
+	if code, out := gate(t, "-baseline", b, "-current", c); code != 0 {
+		t.Fatalf("calibrated half-speed host failed (exit %d):\n%s", code, out)
+	}
+	// Without calibration the same comparison is a -50% regression.
+	if code, _ := gate(t, "-baseline", b, "-current", c, "-calibrate=false"); code != 1 {
+		t.Fatal("uncalibrated comparison unexpectedly passed")
+	}
+}
+
+func TestGateMissingExperimentFails(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0))
+	empty := bench.Report{CalibMtps: 1.0}
+	c := writeReport(t, dir, "cur.json", empty)
+	code, out := gate(t, "-baseline", b, "-current", c)
+	if code != 1 || !strings.Contains(out, "missing from current report") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	if code, _ := gate(t); code != 2 {
+		t.Fatal("missing required flags accepted")
+	}
+	if code, _ := gate(t, "-baseline", "/nonexistent.json", "-current", "/nonexistent.json"); code != 2 {
+		t.Fatal("unreadable report accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if code, _ := gate(t, "-baseline", bad, "-current", bad); code != 2 {
+		t.Fatal("malformed report accepted")
+	}
+}
+
+func TestCellMapSkipsNonThroughput(t *testing.T) {
+	m := cellMap(bench.Table{
+		Columns: []string{"workload", "Mtps", "rebalances"},
+		Rows:    [][]string{{"a", "1.5", "7"}, {"b", "zero", "-"}},
+	})
+	if len(m) != 1 || m["a|Mtps"] != 1.5 {
+		t.Fatalf("cellMap = %v", m)
+	}
+	// Lower-is-better latency columns must stay out of the geomean: they
+	// would invert the regression direction (abl-edgescan's table shape).
+	m = cellMap(bench.Table{
+		Columns: []string{"task", "Mtps", "mean µs", "p99 µs"},
+		Rows:    [][]string{{"8", "2.0", "100", "900"}},
+	})
+	if len(m) != 1 || m["8|Mtps"] != 2.0 {
+		t.Fatalf("latency columns leaked into gate: %v", m)
+	}
+}

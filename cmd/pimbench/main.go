@@ -1,19 +1,28 @@
 // Command pimbench regenerates the paper's evaluation figures plus this
-// repository's own ablations (including the sharded-vs-shared runtime
-// comparison). Each experiment prints the series the corresponding figure
-// plots, as a tab-separated table (see README.md for the experiment list
-// and docs/ARCHITECTURE.md for the paper-to-package mapping).
+// repository's own ablations (including the sharded-vs-shared runtime and
+// static-vs-adaptive rebalancing comparisons). Each experiment prints the
+// series the corresponding figure plots, as a tab-separated table (see
+// README.md for the experiment list and docs/ARCHITECTURE.md for the
+// paper-to-package mapping).
 //
 // Usage:
 //
 //	pimbench -list
 //	pimbench -exp fig10a [-scale quick|default|paper] [-threads N] [-seed S]
-//	pimbench -all [-scale quick]
+//	pimbench -all [-scale quick] [-json bench.json]
+//
+// With -json, the run also writes a machine-readable report (parsed tables,
+// per-experiment runtime, and a host-speed calibration) in the format of the
+// committed BENCH_*.json baselines; cmd/benchgate compares two such reports
+// and fails on throughput regressions.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -22,51 +31,99 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID   = flag.String("exp", "", "experiment id to run (e.g. fig8a); see -list")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.String("scale", "default", "sweep scale: quick | default | paper")
-		threads = flag.Int("threads", 0, "worker threads for parallel joins (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 42, "workload seed")
+		expID    = fs.String("exp", "", "experiment id to run (e.g. fig8a); see -list")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		scale    = fs.String("scale", "default", "sweep scale: quick | default | paper")
+		threads  = fs.Int("threads", 0, "worker threads for parallel joins (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 42, "workload seed")
+		jsonPath = fs.String("json", "", "also write a machine-readable report to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	sc, err := bench.ParseScale(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	cfg := bench.Config{Scale: sc, Threads: *threads, Seed: *seed}
 
-	fmt.Printf("# pimbench: scale=%s threads=%d GOMAXPROCS=%d seed=%d\n",
-		*scale, effectiveThreads(*threads), runtime.GOMAXPROCS(0), *seed)
-
+	var exps []bench.Experiment
 	switch {
 	case *all:
-		for _, e := range bench.All() {
-			start := time.Now()
-			e.Run(cfg, os.Stdout)
-			fmt.Printf("# (%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
+		exps = bench.All()
 	case *expID != "":
 		e, ok := bench.ByID(*expID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pimbench: unknown experiment %q; use -list\n", *expID)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pimbench: unknown experiment %q; use -list\n", *expID)
+			return 2
 		}
-		e.Run(cfg, os.Stdout)
+		exps = []bench.Experiment{e}
 	default:
-		fmt.Fprintln(os.Stderr, "pimbench: pass -exp <id>, -all, or -list")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pimbench: pass -exp <id>, -all, or -list")
+		return 2
 	}
+
+	var report *bench.Report
+	if *jsonPath != "" {
+		report = bench.NewReport(*scale, effectiveThreads(*threads), *seed)
+	}
+
+	fmt.Fprintf(stdout, "# pimbench: scale=%s threads=%d GOMAXPROCS=%d seed=%d\n",
+		*scale, effectiveThreads(*threads), runtime.GOMAXPROCS(0), *seed)
+
+	for _, e := range exps {
+		var buf bytes.Buffer
+		out := io.Writer(stdout)
+		if report != nil {
+			out = io.MultiWriter(stdout, &buf)
+		}
+		start := time.Now()
+		e.Run(cfg, out)
+		elapsed := time.Since(start)
+		if *all {
+			fmt.Fprintf(stdout, "# (%s took %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
+		if report != nil {
+			if err := report.Add(buf.String(), elapsed); err != nil {
+				fmt.Fprintf(stderr, "pimbench: %s: %v\n", e.ID, err)
+				return 1
+			}
+		}
+	}
+
+	if report != nil {
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintln(stderr, "pimbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "# report written to %s\n", *jsonPath)
+	}
+	return 0
+}
+
+func writeReport(path string, r *bench.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func effectiveThreads(n int) int {

@@ -7,6 +7,7 @@
 //	pimtrace -n 1000000 > uniform.csv
 //	pimtrace -n 500000 -dist gaussian -ps 0.2 > skewed_asym.csv
 //	pimtrace -n 200000 -self -dist gamma33 > selfjoin.csv
+//	pimtrace -n 300000 -dist stepskew > hotband.csv
 //	pimjoin -trace uniform.csv -w 65536
 package main
 
@@ -14,39 +15,35 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pimtree"
 )
 
 func main() {
-	var (
-		n    = flag.Int("n", 1_000_000, "tuples to generate")
-		dist = flag.String("dist", "uniform", "key distribution: uniform | gaussian | gamma33 | gamma15 | drift")
-		r    = flag.Float64("r", 0.5, "drift rate for -dist drift")
-		ps   = flag.Float64("ps", 0.5, "share of stream S (two-way traces)")
-		self = flag.Bool("self", false, "single-stream trace for self-joins")
-		seed = flag.Int64("seed", 42, "generator seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	mk := func(s int64) pimtree.KeySource {
-		switch *dist {
-		case "uniform":
-			return pimtree.UniformSource(s)
-		case "gaussian":
-			return pimtree.GaussianSource(s, 0.5, 0.125)
-		case "gamma33":
-			return pimtree.GammaSource(s, 3, 3)
-		case "gamma15":
-			return pimtree.GammaSource(s, 1, 5)
-		case "drift":
-			return pimtree.DriftingGaussianSource(s, *r, *n/4, *n/2)
-		default:
-			fmt.Fprintf(os.Stderr, "pimtrace: unknown distribution %q\n", *dist)
-			os.Exit(2)
-			return nil
-		}
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n    = fs.Int("n", 1_000_000, "tuples to generate")
+		dist = fs.String("dist", "uniform", "key distribution: uniform | gaussian | gamma33 | gamma15 | drift | stepskew | hotspot")
+		r    = fs.Float64("r", 0.5, "drift rate for -dist drift")
+		ps   = fs.Float64("ps", 0.5, "share of stream S (two-way traces)")
+		self = fs.Bool("self", false, "single-stream trace for self-joins")
+		seed = fs.Int64("seed", 42, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mk := sourceFor(*dist, *n, *r)
+	if mk == nil {
+		fmt.Fprintf(stderr, "pimtrace: unknown distribution %q\n", *dist)
+		return 2
 	}
 
 	var arrivals []pimtree.Arrival
@@ -56,11 +53,36 @@ func main() {
 		arrivals = pimtree.Interleave(*seed, mk(*seed+1), mk(*seed+2), *ps, *n)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	fmt.Fprintf(w, "# pimtrace n=%d dist=%s ps=%.2f self=%v seed=%d\n", *n, *dist, *ps, *self, *seed)
 	if err := pimtree.WriteArrivalsCSV(w, arrivals); err != nil {
-		fmt.Fprintln(os.Stderr, "pimtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "pimtrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// sourceFor maps a distribution name to a seeded key-source factory, or nil
+// for an unknown name. n and r parameterize the non-stationary
+// distributions (phase lengths and drift rate).
+func sourceFor(dist string, n int, r float64) func(seed int64) pimtree.KeySource {
+	switch dist {
+	case "uniform":
+		return func(s int64) pimtree.KeySource { return pimtree.UniformSource(s) }
+	case "gaussian":
+		return func(s int64) pimtree.KeySource { return pimtree.GaussianSource(s, 0.5, 0.125) }
+	case "gamma33":
+		return func(s int64) pimtree.KeySource { return pimtree.GammaSource(s, 3, 3) }
+	case "gamma15":
+		return func(s int64) pimtree.KeySource { return pimtree.GammaSource(s, 1, 5) }
+	case "drift":
+		return func(s int64) pimtree.KeySource { return pimtree.DriftingGaussianSource(s, r, n/4, n/2) }
+	case "stepskew":
+		return func(s int64) pimtree.KeySource { return pimtree.StepSkewSource(s, 1.0/16, n/6) }
+	case "hotspot":
+		return func(s int64) pimtree.KeySource { return pimtree.DriftingHotspotSource(s, 1.0/16, n) }
+	default:
+		return nil
 	}
 }

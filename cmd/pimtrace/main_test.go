@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSourceFor(t *testing.T) {
+	for _, dist := range []string{"uniform", "gaussian", "gamma33", "gamma15", "drift", "stepskew", "hotspot"} {
+		mk := sourceFor(dist, 1000, 0.5)
+		if mk == nil {
+			t.Fatalf("sourceFor(%q) = nil", dist)
+		}
+		// Deterministic for a fixed seed.
+		if mk(3).Next() != mk(3).Next() {
+			t.Fatalf("%s source not deterministic", dist)
+		}
+	}
+	if sourceFor("nope", 1000, 0.5) != nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestRunGeneratesTrace(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-n", "100", "-dist", "stepskew", "-seed", "9"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if !strings.HasPrefix(lines[0], "# pimtrace n=100 dist=stepskew") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 101 {
+		t.Fatalf("trace has %d data lines, want 100", len(lines)-1)
+	}
+	sawS := false
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "R,") && !strings.HasPrefix(l, "S,") {
+			t.Fatalf("bad trace line %q", l)
+		}
+		if strings.HasPrefix(l, "S,") {
+			sawS = true
+		}
+	}
+	if !sawS {
+		t.Fatal("two-way trace produced no stream-S tuples")
+	}
+
+	// Same flags, same bytes: traces must be reproducible.
+	var again strings.Builder
+	run([]string{"-n", "100", "-dist", "stepskew", "-seed", "9"}, &again, &errOut)
+	if again.String() != out.String() {
+		t.Fatal("trace not deterministic across runs")
+	}
+}
+
+func TestRunSelfTrace(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-n", "50", "-self"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, l := range strings.Split(strings.TrimSpace(out.String()), "\n")[1:] {
+		if !strings.HasPrefix(l, "R,") {
+			t.Fatalf("self trace emitted non-R line %q", l)
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dist", "warp"},
+		{"-badflag"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+		if errOut.Len() == 0 {
+			t.Fatalf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

@@ -30,12 +30,17 @@
 //     identical match multiset as the single-threaded Join. The Partitioner
 //     hook (RangePartition, QuantilePartition, or a custom implementation)
 //     controls the shard boundaries, which is how skewed key distributions
-//     stay balanced.
+//     stay balanced. With ShardedOptions.Adaptive the runtime rebalances
+//     itself online: per-shard load accounting feeds a monitor, and when
+//     imbalance crosses RebalancePolicy.MaxRatio the router drains the
+//     shards, recomputes boundaries from a recent-key sample, and migrates
+//     live window contents — without changing the match multiset.
 //
 // Workload helpers (UniformSource, GaussianSource, GammaSource,
-// DriftingGaussianSource, Interleave) regenerate the paper's synthetic
-// streams; DiffForMatchRate and CalibrateDiff pick band widths that hit a
-// target match rate.
+// DriftingGaussianSource, StepSkewSource, DriftingHotspotSource,
+// Interleave) regenerate the paper's synthetic streams plus the moving
+// hot-band workloads the adaptive runtime targets; DiffForMatchRate and
+// CalibrateDiff pick band widths that hit a target match rate.
 //
 // The repository also contains the full evaluation harness: cmd/pimbench
 // regenerates every figure of the paper's evaluation section plus the

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"io"
+
+	"pimtree/internal/join"
+	"pimtree/internal/shard"
+	"pimtree/internal/stream"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-adaptive",
+		Title: "ablation: static vs adaptive shard rebalancing under skew (Mtps)",
+		Run:   runAblAdaptive,
+	})
+}
+
+// runAblAdaptive compares static equal-width sharding against the adaptive
+// rebalancing runtime on the workloads static partitioning cannot handle: a
+// hot key band that jumps location (step-skew), a hot band sweeping the
+// domain (drift-hotspot), and — as the control where static quantiles would
+// already suffice — a stationary Gaussian. Static sharding serializes on
+// whichever shards own the hot band; the adaptive runtime re-splits the band
+// across all shards every epoch.
+func runAblAdaptive(cfg Config, out io.Writer) {
+	// Adaptation is a long-horizon phenomenon: one rebalance epoch costs
+	// roughly a full window rebuild and is repaid over the rest of a skew
+	// phase, so this ablation runs 64 windows of arrivals with a hot-band
+	// phase of 16 windows — a run of only a few windows cannot show either
+	// the cost or the benefit.
+	w := 1 << 13
+	if cfg.Scale == Quick {
+		w = 1 << 10
+	} else if cfg.Scale == Paper {
+		w = 1 << 16
+	}
+	k := cfg.threads()
+	n := 64 * w
+	period := 16 * w
+	seed := cfg.seed()
+	header(out, "abl-adaptive", "static vs adaptive rebalancing at w="+wLabel(w))
+	row(out, "workload", "static", "adaptive", "rebalances", "migrated")
+
+	const hot = 1.0 / 16 // hot-band width as a fraction of the key domain
+	// Inside a hot band keys are uniform, so the band predicate holding the
+	// match rate at 2 is the uniform closed form scaled by the band width.
+	// (CalibrateDiff is wrong for these non-stationary generators: its
+	// sample and probe generators land in different band positions.)
+	hotBand := join.Band{Diff: uint32(hot * float64(stream.UniformDiff(w, 2)))}
+	workloads := []struct {
+		name string
+		band join.Band
+		gen  func(s int64) stream.KeyGen
+	}{
+		// Both streams of a workload share one generator seed, so the hot
+		// bands stay co-located and the join produces matches.
+		{"step-skew", hotBand, func(s int64) stream.KeyGen { return stream.NewStepSkew(s, hot, period) }},
+		// A quarter-domain sweep over the run: slow enough that epoch-based
+		// boundary updates can track the hotspot instead of thrashing.
+		{"drift-hotspot", hotBand, func(s int64) stream.KeyGen { return stream.NewDriftingHotspot(s, hot, 4*n) }},
+		{"gaussian",
+			join.Band{Diff: stream.CalibrateDiff(func(s int64) stream.KeyGen { return stream.NewGaussian(s, 0.5, 0.125) }, w, 2)},
+			func(s int64) stream.KeyGen { return stream.NewGaussian(s, 0.5, 0.125) }},
+	}
+	for _, wl := range workloads {
+		band := wl.band
+		arr := stream.NewInterleaver(seed, wl.gen(seed+1), wl.gen(seed+1), 0.5).Take(n)
+		base := shard.Config{
+			Shards: k, WR: w, WS: w, Band: band,
+			Index: join.IndexPIMTree, PIM: pimSerial(),
+		}
+		static := shard.Run(arr, base)
+
+		acfg := base
+		acfg.Adaptive = true
+		acfg.Rebalance = shard.Policy{MaxRatio: 1.5, MinGap: 4 * w}
+		adaptive := shard.Run(arr, acfg)
+
+		row(out, wl.name, static.Mtps(), adaptive.Mtps(), adaptive.Rebalances, adaptive.Migrated)
+	}
+}

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13a", "fig13b", "fig13c",
 		"fig14",
 		"abl-cssfanout", "abl-singlelock", "abl-edgescan",
-		"abl-sharded", "abl-shardbatch", "abl-shardskew",
+		"abl-sharded", "abl-shardbatch", "abl-shardskew", "abl-adaptive",
 		"model",
 	}
 	for _, id := range want {

@@ -57,6 +57,10 @@ type Stats struct {
 	MergeTime time.Duration
 	Latency   metrics.Summary
 	Chunks    []ChunkStat // per-chunk throughput when requested (Fig 13b)
+	// Rebalances and Migrated are filled by the adaptive sharded runtime:
+	// completed rebalance epochs and window tuples moved across shards.
+	Rebalances int
+	Migrated   int
 }
 
 // Mtps returns the throughput in million tuples per second.

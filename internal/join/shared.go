@@ -493,6 +493,13 @@ func (r *sharedRun) propagate(nowNano int64) {
 			}
 		}
 		if r.cfg.Latency != nil {
+			// The caller's timestamp predates the loop; a tuple admitted
+			// after it can complete and reach the head within this same
+			// propagation pass. Refresh the clock instead of recording a
+			// negative latency.
+			if r.admitNano[h] > nowNano {
+				nowNano = time.Now().UnixNano()
+			}
 			r.cfg.Latency.Record(time.Duration(nowNano - r.admitNano[h]))
 		}
 		r.propHead++
@@ -580,6 +587,16 @@ func (r *sharedRun) nonblockingMerge(sid int) {
 			if r.cfg.Self && wi == 1 {
 				break
 			}
+			// The edge may lag behind tuples that are already marked
+			// indexed: a worker's TryAdvanceEdge returns without advancing
+			// when another holds the guard, even if that holder's walk
+			// already passed the newly marked slots. Replaying from a stale
+			// edge would re-insert those tuples — they survived into the
+			// merged tree — and duplicate index entries over-count matches.
+			// Under the barrier the guard is free (workers only advance
+			// while a task is active), so this walk lands the edge exactly
+			// at the first unindexed tuple.
+			r.wins[wi].TryAdvanceEdge()
 			pending[wi] = pend{lo: r.wins[wi].Edge(), hi: r.wins[wi].Head()}
 		}
 	})

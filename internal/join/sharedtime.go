@@ -347,6 +347,12 @@ func (r *sharedTimeRun) nonblockingMerge(sid int) {
 			if r.cfg.Self && wi == 1 {
 				break
 			}
+			// Land the edge exactly at the first unindexed tuple before
+			// snapshotting: a stale edge (a worker's TryAdvanceEdge lost
+			// the guard race after marking) would make the replay below
+			// re-insert already-indexed tuples and double-count matches.
+			// Under the barrier the guard is free, so the walk completes.
+			r.wins[wi].TryAdvanceEdge()
 			pending[wi] = pend{lo: r.wins[wi].Edge(), hi: r.wins[wi].Head()}
 		}
 	})

@@ -232,3 +232,43 @@ func Mtps(tuples int, elapsed time.Duration) float64 {
 	}
 	return float64(tuples) / elapsed.Seconds() / 1e6
 }
+
+// PaddedCounter is a cache-line padded atomic counter. Arrays of these back
+// per-shard load accounting: each shard's counter is written by the routing
+// goroutine and read concurrently by a monitor, and the padding keeps
+// adjacent shards' counters out of the same cache line.
+type PaddedCounter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Add increments the counter by n.
+func (c *PaddedCounter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *PaddedCounter) Load() uint64 { return c.v.Load() }
+
+// Store sets the counter to n.
+func (c *PaddedCounter) Store(n uint64) { c.v.Store(n) }
+
+// Imbalance reports how unevenly a load vector is spread: the ratio of the
+// maximum entry to the mean entry. 1 means perfectly balanced, len(loads)
+// means all load on one entry. Empty or all-zero input reports 0 (no load,
+// nothing to balance).
+func Imbalance(loads []uint64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}

@@ -173,3 +173,45 @@ func TestMtps(t *testing.T) {
 		t.Fatal("zero-duration Mtps should be 0")
 	}
 }
+
+func TestPaddedCounter(t *testing.T) {
+	var cs [4]PaddedCounter
+	cs[1].Add(3)
+	cs[1].Add(2)
+	cs[3].Store(7)
+	if cs[0].Load() != 0 || cs[1].Load() != 5 || cs[3].Load() != 7 {
+		t.Fatalf("counters = %d %d %d", cs[0].Load(), cs[1].Load(), cs[3].Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				cs[2].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if cs[2].Load() != 8000 {
+		t.Fatalf("concurrent adds = %d, want 8000", cs[2].Load())
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		loads []uint64
+		want  float64
+	}{
+		{nil, 0},
+		{[]uint64{0, 0}, 0},
+		{[]uint64{5, 5, 5, 5}, 1},
+		{[]uint64{20, 0, 0, 0}, 4},
+		{[]uint64{30, 10}, 1.5},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); got != c.want {
+			t.Fatalf("Imbalance(%v) = %v, want %v", c.loads, got, c.want)
+		}
+	}
+}

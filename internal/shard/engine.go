@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sync/atomic"
 	"time"
 
 	"pimtree/internal/btree"
@@ -173,14 +174,24 @@ func newShardIndex(cfg Config, w int) shardIndex {
 }
 
 // engine is one shard: a single-writer join instance over the shard's key
-// range. All mutation happens on the shard's worker goroutine, so the engine
-// needs no locks of its own.
+// range. All mutation happens on the shard's worker goroutine — or, during a
+// rebalance epoch, on the router goroutine while every worker is quiescent at
+// the drain barrier — so the engine needs no locks of its own.
 type engine struct {
 	stores [2]*store
 	idxs   [2]shardIndex
 	evicts [2]func(kv.Pair) // Remove hooks for eager indexes (nil otherwise)
 	// scratch collects one probe's matched sequences; reused across ops.
 	scratch []uint64
+	// resident is a monitoring gauge: tuples currently stored across both
+	// streams, refreshed by the worker after each batch and read by load
+	// snapshots without synchronization.
+	resident atomic.Int64
+	// baseMerges/baseMergeTime accumulate merge statistics of indexes that
+	// were discarded by rebalance epochs, so Stats.Merges survives index
+	// rebuilds.
+	baseMerges    int
+	baseMergeTime time.Duration
 }
 
 func newEngine(cfg Config) *engine {
@@ -254,12 +265,74 @@ func (e *engine) maintain(self bool) {
 	}
 }
 
-// merges sums merge statistics over both indexes.
+// merges sums merge statistics over both indexes, plus the merges of any
+// indexes discarded by rebalance epochs.
 func (e *engine) merges(self bool) (int, time.Duration) {
 	m, t := e.idxs[0].Merges()
-	if self {
-		return m, t
+	if !self {
+		m2, t2 := e.idxs[1].Merges()
+		m, t = m+m2, t+t2
 	}
-	m2, t2 := e.idxs[1].Merges()
-	return m + m2, t + t2
+	return m + e.baseMerges, t + e.baseMergeTime
+}
+
+// updateResident refreshes the monitoring gauge from the stores.
+func (e *engine) updateResident(self bool) {
+	n := int64(e.stores[0].head - e.stores[0].tail)
+	if !self {
+		n += int64(e.stores[1].head - e.stores[1].tail)
+	}
+	e.resident.Store(n)
+}
+
+// migrant is one live tuple in flight between shards during a rebalance.
+type migrant struct {
+	key uint32
+	seq uint64
+	src int // source shard (for migration accounting)
+}
+
+// extractLive appends stream slot's tuples with seq >= wm to dst in sequence
+// order, tagging each with the source shard id. Must only be called while the
+// engine's worker is quiescent (drain barrier).
+func (e *engine) extractLive(slot int, wm uint64, src int, dst []migrant) []migrant {
+	st := e.stores[slot]
+	for i := st.tail; i < st.head; i++ {
+		if seq := st.seqs[i&st.mask]; seq >= wm {
+			dst = append(dst, migrant{key: st.keys[i&st.mask], seq: seq, src: src})
+		}
+	}
+	return dst
+}
+
+// resetSlot replaces a stream slot's store and index with empty ones whose
+// eviction watermark starts at wm, banking the discarded index's merge
+// statistics. For self-joins slot 0 is the only real slot and slot 1 is
+// re-aliased to it. Must only be called while the engine's worker is
+// quiescent.
+func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
+	m, t := e.idxs[slot].Merges()
+	e.baseMerges += m
+	e.baseMergeTime += t
+	st := newStore(w)
+	st.wm = wm
+	e.stores[slot] = st
+	e.idxs[slot] = newShardIndex(cfg, w)
+	e.evicts[slot] = nil
+	if e.idxs[slot].Eager() {
+		idx := e.idxs[slot]
+		e.evicts[slot] = func(p kv.Pair) { idx.Remove(p) }
+	}
+	if cfg.Self && slot == 0 {
+		e.stores[1] = e.stores[0]
+		e.idxs[1] = e.idxs[0]
+		e.evicts[1] = e.evicts[0]
+	}
+}
+
+// adopt stores and indexes one migrated tuple. Migrants must be adopted in
+// sequence order per slot (the store ring assumes monotone seqs).
+func (e *engine) adopt(slot int, m migrant) {
+	ref := e.stores[slot].append(m.key, m.seq)
+	e.idxs[slot].Insert(kv.Pair{Key: m.key, Ref: ref})
 }

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"pimtree/internal/join"
+	"pimtree/internal/stream"
+)
+
+// stepSkewArrivals builds a two-way workload whose keys live in a narrow hot
+// band that jumps location every period tuples — the adversarial case for
+// static key-range sharding. Both streams use the same generator seed so
+// their hot bands stay (approximately) co-located and the join produces
+// matches.
+func stepSkewArrivals(seed int64, n, period int) []stream.Arrival {
+	return stream.NewInterleaver(seed,
+		stream.NewStepSkew(seed+1, 1.0/16, period),
+		stream.NewStepSkew(seed+1, 1.0/16, period), 0.5).Take(n)
+}
+
+// TestForcedRebalanceMultiset is the tentpole acceptance test: with
+// rebalance epochs forced at fixed stream positions (so live window contents
+// migrate mid-stream, repeatedly), the adaptive runtime must still produce
+// the identical match multiset as the single-threaded IBWJ, across backends
+// and shard counts.
+func TestForcedRebalanceMultiset(t *testing.T) {
+	const w = 256
+	const n = 8000
+	band := join.Band{Diff: stream.UniformDiff(w, 2)}
+	workloads := map[string][]stream.Arrival{
+		"uniform":   stream.NewInterleaver(61, stream.NewUniform(62), stream.NewUniform(63), 0.5).Take(n),
+		"step-skew": stepSkewArrivals(71, n, n/5),
+	}
+	for name, arr := range workloads {
+		want := serialOracle(arr, w, w, false, band)
+		if len(want) == 0 {
+			t.Fatalf("%s: oracle produced no matches; workload broken", name)
+		}
+		for _, kind := range []join.IndexKind{join.IndexPIMTree, join.IndexIMTree, join.IndexBTree, join.IndexBwTree} {
+			for _, shards := range []int{2, 4} {
+				got, st := shardedRun(t, arr, Config{
+					Shards: shards, BatchSize: 16, WR: w, WS: w, Band: band, Index: kind,
+					Adaptive:  true,
+					Rebalance: Policy{ForceEvery: 512, SampleSize: 1024},
+				})
+				if st.Rebalances == 0 {
+					t.Fatalf("%s/%v/k=%d: no forced rebalance ran", name, kind, shards)
+				}
+				if !equalTriples(got, want) {
+					t.Fatalf("%s/%v/k=%d: multiset differs after %d rebalances (%d vs %d matches)",
+						name, kind, shards, st.Rebalances, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestForcedRebalanceSelfJoin covers the aliased-slot migration path: a
+// self-join has one store and one index per shard, and migration must
+// preserve the aliasing.
+func TestForcedRebalanceSelfJoin(t *testing.T) {
+	const w = 128
+	const n = 6000
+	band := join.Band{Diff: stream.UniformDiff(w, 2)}
+	arr := stream.NewSelfStream(stream.NewStepSkew(81, 1.0/8, n/4)).Take(n)
+	want := serialOracle(arr, w, 0, true, band)
+	if len(want) == 0 {
+		t.Fatal("oracle produced no matches; workload broken")
+	}
+	for _, kind := range []join.IndexKind{join.IndexPIMTree, join.IndexBTree} {
+		got, st := shardedRun(t, arr, Config{
+			Shards: 4, BatchSize: 8, WR: w, Self: true, Band: band, Index: kind,
+			Adaptive:  true,
+			Rebalance: Policy{ForceEvery: 700, SampleSize: 512},
+		})
+		if st.Rebalances == 0 {
+			t.Fatalf("%v: no forced rebalance ran", kind)
+		}
+		if !equalTriples(got, want) {
+			t.Fatalf("%v: self-join multiset differs after %d rebalances", kind, st.Rebalances)
+		}
+	}
+}
+
+// TestForcedRebalanceAsymmetricWindows migrates two differently sized
+// windows and checks both against the oracle.
+func TestForcedRebalanceAsymmetricWindows(t *testing.T) {
+	const wr, ws = 64, 512
+	const n = 6000
+	band := join.Band{Diff: stream.UniformDiff(ws, 2)}
+	arr := stream.NewInterleaver(91, stream.NewStepSkew(92, 1.0/8, n/3), stream.NewUniform(93), 0.4).Take(n)
+	want := serialOracle(arr, wr, ws, false, band)
+	got, st := shardedRun(t, arr, Config{
+		Shards: 3, BatchSize: 5, WR: wr, WS: ws, Band: band, Index: join.IndexPIMTree,
+		Adaptive:  true,
+		Rebalance: Policy{ForceEvery: 900, SampleSize: 1024},
+	})
+	if st.Rebalances == 0 {
+		t.Fatal("no forced rebalance ran")
+	}
+	if !equalTriples(got, want) {
+		t.Fatalf("asymmetric multiset differs after %d rebalances", st.Rebalances)
+	}
+}
+
+// TestRebalanceMovesTuplesAndBalancesLoad checks the adaptive layer does
+// what it exists for: under a hot band confined to one equal-width shard,
+// a rebalance must actually migrate resident tuples and spread subsequent
+// probe load across shards.
+func TestRebalanceMovesTuplesAndBalancesLoad(t *testing.T) {
+	const w = 256
+	const n = 4000
+	const k = 4
+	// All keys in the bottom 1/16 of the domain: equal-width sharding puts
+	// everything on shard 0.
+	gen := func(seed int64) *stream.StepSkew { return stream.NewStepSkew(seed, 1.0/16, n) }
+	band := join.Band{Diff: stream.CalibrateDiff(func(s int64) stream.KeyGen { return gen(s) }, w, 2)}
+	arr := stream.NewInterleaver(101, gen(102), gen(103), 0.5).Take(n)
+
+	// ForceEvery is chosen so hundreds of arrivals are routed after the
+	// last epoch: the post-rebalance load snapshot below needs post-epoch
+	// traffic (each epoch resets the accounting).
+	r := NewRouter(Config{
+		Shards: k, BatchSize: 16, WR: w, WS: w, Band: band, Index: join.IndexPIMTree,
+		Adaptive:  true,
+		Rebalance: Policy{ForceEvery: 1700, SampleSize: 1024},
+	}, n)
+	for _, a := range arr {
+		r.Push(a)
+	}
+	if r.Rebalances() == 0 {
+		t.Fatal("no rebalance ran")
+	}
+	if r.Migrated() == 0 {
+		t.Fatal("rebalance moved no tuples off the hot shard")
+	}
+	if _, ok := r.part.(QuantilePartitioner); !ok {
+		t.Fatalf("partitioner not replaced: %T", r.part)
+	}
+	// Post-rebalance routing (stats reset at the epoch) must hit every
+	// shard: the hot band is now split k ways.
+	snap := r.LoadSnapshot()
+	for s, ld := range snap {
+		if ld.Inserts == 0 {
+			t.Fatalf("shard %d received no inserts after rebalance: %+v", s, snap)
+		}
+	}
+	st := r.Close()
+	if st.Migrated != r.Migrated() || st.Rebalances != r.Rebalances() {
+		t.Fatalf("stats disagree with accessors: %+v", st)
+	}
+}
+
+// TestMonitorTriggersRebalance runs the production path: no forced schedule,
+// just the monitor goroutine watching load imbalance. The workload is
+// maximally skewed, so the monitor must request a rebalance almost
+// immediately; correctness must hold regardless of when the epoch lands.
+func TestMonitorTriggersRebalance(t *testing.T) {
+	const w = 128
+	const n = 60000
+	gen := func(seed int64) *stream.StepSkew { return stream.NewStepSkew(seed, 1.0/16, n) }
+	band := join.Band{Diff: stream.CalibrateDiff(func(s int64) stream.KeyGen { return gen(s) }, w, 2)}
+	arr := stream.NewInterleaver(111, gen(112), gen(113), 0.5).Take(n)
+	want := serialOracle(arr, w, w, false, band)
+
+	got, st := shardedRun(t, arr, Config{
+		Shards: 4, BatchSize: 16, WR: w, WS: w, Band: band, Index: join.IndexPIMTree,
+		Adaptive: true,
+		Rebalance: Policy{
+			MaxRatio: 1.2, MinGap: 2048, SampleSize: 1024,
+			Interval: 50 * time.Microsecond,
+		},
+	})
+	if !equalTriples(got, want) {
+		t.Fatalf("monitor-triggered multiset differs (%d vs %d matches)", len(got), len(want))
+	}
+	if st.Rebalances == 0 {
+		t.Fatalf("monitor never triggered a rebalance over %d maximally skewed arrivals", n)
+	}
+}
+
+// TestAdaptiveDisabledUntouched checks the non-adaptive path reports no
+// rebalancing and keeps its partitioner.
+func TestAdaptiveDisabledUntouched(t *testing.T) {
+	const w = 64
+	arr := stream.NewInterleaver(121, stream.NewUniform(122), stream.NewUniform(123), 0.5).Take(2000)
+	_, st := shardedRun(t, arr, Config{
+		Shards: 2, WR: w, WS: w, Band: join.Band{Diff: stream.UniformDiff(w, 2)},
+		Index: join.IndexPIMTree,
+	})
+	if st.Rebalances != 0 || st.Migrated != 0 {
+		t.Fatalf("static run reports rebalancing: %+v", st)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults(Config{WR: 100, WS: 300})
+	if p.MaxRatio != 1.5 || p.MinGap != 2400 || p.SampleSize != 4096 || p.Interval <= 0 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	p = Policy{}.withDefaults(Config{WR: 100, WS: 300, Self: true})
+	if p.MinGap != 800 {
+		t.Fatalf("self-join MinGap = %d, want 800 (WS ignored)", p.MinGap)
+	}
+	p = Policy{MaxRatio: 2, MinGap: 5, SampleSize: 7, Interval: time.Second}.withDefaults(Config{WR: 1})
+	if p.MaxRatio != 2 || p.MinGap != 5 || p.SampleSize != 7 || p.Interval != time.Second {
+		t.Fatalf("explicit fields clobbered: %+v", p)
+	}
+}
+
+func TestKeyRing(t *testing.T) {
+	kr := newKeyRing(4)
+	kr.add(1)
+	kr.add(2)
+	if got := kr.snapshot(); len(got) != 2 {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+	for i := uint32(3); i <= 10; i++ {
+		kr.add(i)
+	}
+	got := kr.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("full snapshot has %d keys, want 4", len(got))
+	}
+	// Ring of size 4 after adding 1..10 holds exactly {7, 8, 9, 10}.
+	seen := map[uint32]bool{}
+	for _, k := range got {
+		seen[k] = true
+	}
+	for want := uint32(7); want <= 10; want++ {
+		if !seen[want] {
+			t.Fatalf("recent key %d evicted from ring: %v", want, got)
+		}
+	}
+}
+
+func TestBoundsFromSample(t *testing.T) {
+	if _, ok := boundsFromSample([]uint32{1, 2, 3}, 4); ok {
+		t.Fatal("thin sample accepted")
+	}
+	if _, ok := boundsFromSample(make([]uint32, 100), 1); ok {
+		t.Fatal("single shard accepted")
+	}
+	sample := make([]uint32, 64)
+	for i := range sample {
+		sample[i] = uint32(i) << 20
+	}
+	part, ok := boundsFromSample(sample, 4)
+	if !ok || part.Shards() != 4 {
+		t.Fatalf("bounds = %v, ok=%v", part, ok)
+	}
+	qp := part.(QuantilePartitioner)
+	if !samePartition(part, qp) {
+		t.Fatal("identical quantile partitioners not detected")
+	}
+	if samePartition(NewRangePartitioner(4), qp) {
+		t.Fatal("range partitioner equated with quantile bounds")
+	}
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// (see Partitioner).
 	Part Partitioner
 
+	// Adaptive enables the online rebalancing layer: per-shard load
+	// accounting, a monitor goroutine that detects imbalance, and epoch-based
+	// live migration of window contents to boundaries recomputed from a
+	// recent-key sample. The initial partitioner (Part or the equal-width
+	// default) only seeds the first epoch.
+	Adaptive bool
+	// Rebalance tunes the adaptive layer; ignored unless Adaptive is set.
+	Rebalance Policy
+
 	Sink join.MatchSink // optional ordered result sink
 }
 
@@ -111,6 +120,17 @@ type Router struct {
 	// probeRouted counts probe ops enqueued per shard (router-goroutine
 	// only) — the observable for fan-out tests and skew diagnostics.
 	probeRouted []int
+
+	// Adaptive rebalancing state. stats is always allocated (it also backs
+	// LoadSnapshot); sample and reb only exist when cfg.Adaptive is set.
+	stats   *loadStats
+	sample  *keyRing
+	reb     *rebalancer
+	pol     Policy
+	barrier sync.WaitGroup
+	lastReb int // arrival index of the last rebalance epoch
+	epochs  int // completed rebalance epochs
+	moved   int // tuples that changed shards across all epochs
 }
 
 // NewRouter builds a sharded runtime for a run of at most capacity arrivals
@@ -155,6 +175,17 @@ func NewRouter(cfg Config, capacity int) *Router {
 		results:     make([][][]uint64, capacity),
 		state:       make([]probeState, capacity),
 		probeRouted: make([]int, k),
+	}
+	if cfg.Adaptive {
+		// Load accounting only exists when something reads it: the
+		// counters are atomic (monitor goroutine) and sit on the routing
+		// hot path, so static runs skip them entirely.
+		r.stats = newLoadStats(k)
+		r.pol = cfg.Rebalance.withDefaults(cfg)
+		r.sample = newKeyRing(r.pol.SampleSize)
+		if r.pol.ForceEvery <= 0 {
+			r.reb = startRebalancer(r.stats, r.pol)
+		}
 	}
 	for i := range r.pend {
 		r.pend[i].first = -1
@@ -216,6 +247,7 @@ func (r *Router) Push(a stream.Arrival) {
 	r.state[i].pending.Store(int32(s2 - s1 + 1))
 	for s := s1; s <= s2; s++ {
 		r.probeRouted[s]++
+		r.stats.probe(s)
 		r.enqueue(s, op{
 			kind: opProbe, stream: opp, lo: lo, hi: hi,
 			te: te, tl: tl, idx: i, bucket: s - s1,
@@ -230,13 +262,108 @@ func (r *Router) Push(a stream.Arrival) {
 	if seq+1 > r.wlen[own] {
 		wm = seq + 1 - r.wlen[own]
 	}
-	r.enqueue(r.clampShard(r.part.ShardOf(a.Key)), op{
+	owner := r.clampShard(r.part.ShardOf(a.Key))
+	r.stats.insert(owner)
+	if r.sample != nil {
+		r.sample.add(a.Key)
+	}
+	r.enqueue(owner, op{
 		kind: opInsert, stream: own, key: a.Key, seq: seq, te: wm,
 	})
 
 	r.n++
 	r.routed.Store(int64(r.n))
 	r.flushExpired()
+	if r.cfg.Adaptive {
+		r.maybeRebalance()
+	}
+}
+
+// maybeRebalance runs on the router goroutine after each Push: it honors a
+// deterministic ForceEvery schedule, or picks up the monitor's imbalance
+// request once the minimum epoch gap has passed.
+func (r *Router) maybeRebalance() {
+	if r.pol.ForceEvery > 0 {
+		if r.n-r.lastReb >= r.pol.ForceEvery {
+			r.rebalance()
+		}
+		return
+	}
+	if r.reb.want.Load() && r.n-r.lastReb >= r.pol.MinGap {
+		r.rebalance()
+		r.reb.want.Store(false)
+	}
+}
+
+// rebalance is one epoch of the adaptive layer: recompute boundaries from
+// the recent-key sample, drain every shard to a barrier, migrate live window
+// contents between engines, and install the new partitioner. It runs
+// entirely on the router goroutine; exactness is preserved because no op is
+// in flight during the migration and every probe routed afterwards fans out
+// under the same partitioner that owns the migrated tuples.
+func (r *Router) rebalance() {
+	r.lastReb = r.n
+	part, ok := boundsFromSample(r.sample.snapshot(), len(r.engines))
+	if !ok {
+		return
+	}
+	if samePartition(r.part, part.(QuantilePartitioner)) {
+		r.stats.reset()
+		return
+	}
+	r.drainBarrier()
+	wms := [2]uint64{}
+	for slot := 0; slot < 2; slot++ {
+		if r.heads[slot] > r.wlen[slot] {
+			wms[slot] = r.heads[slot] - r.wlen[slot]
+		}
+	}
+	r.moved += migrate(r.engines, r.cfg, part, wms)
+	r.part = part
+	r.epochs++
+	r.stats.reset()
+}
+
+// drainBarrier flushes every pending batch, then sends each worker a nil
+// sentinel batch and waits for all of them to acknowledge it. Because shard
+// queues are FIFO, acknowledgement means every previously routed op has been
+// fully applied; the WaitGroup gives the router goroutine a happens-before
+// edge over the workers' engine writes, and the next channel send orders the
+// router's migration writes before anything the workers do next.
+func (r *Router) drainBarrier() {
+	for s := range r.pend {
+		r.flush(s)
+	}
+	r.barrier.Add(len(r.chans))
+	for _, ch := range r.chans {
+		ch <- nil
+	}
+	r.barrier.Wait()
+}
+
+// Rebalances returns how many rebalance epochs have completed.
+func (r *Router) Rebalances() int { return r.epochs }
+
+// Migrated returns how many window tuples changed shards across all epochs.
+func (r *Router) Migrated() int { return r.moved }
+
+// LoadSnapshot returns each shard's current load accounting: ops routed
+// since the last rebalance epoch (zero unless Adaptive — static runs skip
+// the accounting), pending queue depth, and resident window size. Safe to
+// call between Pushes.
+func (r *Router) LoadSnapshot() []ShardLoad {
+	out := make([]ShardLoad, len(r.engines))
+	for s := range out {
+		out[s] = ShardLoad{
+			QueueDepth: len(r.chans[s]),
+			Resident:   int(r.engines[s].resident.Load()),
+		}
+		if r.stats != nil {
+			out[s].Inserts = r.stats.inserts[s].Load()
+			out[s].Probes = r.stats.probes[s].Load()
+		}
+	}
+	return out
 }
 
 // enqueue appends an op to a shard's pending batch, flushing on size.
@@ -301,6 +428,9 @@ func (r *Router) Matches() uint64 {
 // ordered propagation, and returns the run's statistics (Elapsed is left to
 // the caller, which owns the clock).
 func (r *Router) Close() join.Stats {
+	if r.reb != nil {
+		r.reb.stop()
+	}
 	for s := range r.pend {
 		r.flush(s)
 	}
@@ -309,7 +439,7 @@ func (r *Router) Close() join.Stats {
 	}
 	r.wg.Wait()
 	r.propagate()
-	st := join.Stats{Tuples: r.n, Matches: r.matches}
+	st := join.Stats{Tuples: r.n, Matches: r.matches, Rebalances: r.epochs, Migrated: r.moved}
 	for _, e := range r.engines {
 		m, t := e.merges(r.cfg.Self)
 		st.Merges += m
@@ -324,6 +454,13 @@ func (r *Router) worker(s int) {
 	defer r.wg.Done()
 	e := r.engines[s]
 	for batch := range r.chans[s] {
+		if batch == nil {
+			// Rebalance drain barrier: everything routed before the
+			// sentinel has been applied (the queue is FIFO). Acknowledge
+			// and block on the next receive while the router migrates.
+			r.barrier.Done()
+			continue
+		}
 		for j := range batch {
 			o := &batch[j]
 			if o.kind == opInsert {
@@ -336,6 +473,7 @@ func (r *Router) worker(s int) {
 			}
 		}
 		e.maintain(r.cfg.Self)
+		e.updateResident(r.cfg.Self)
 		r.propagate()
 	}
 }

@@ -1,0 +1,96 @@
+package shard
+
+import "pimtree/internal/metrics"
+
+// loadStats is the per-shard load accounting behind the adaptive rebalancer:
+// tuple inserts and probe fan-ins routed to each shard since the last reset.
+// The router goroutine is the only writer; the rebalancer monitor reads the
+// counters concurrently, which is why they are padded atomics
+// (metrics.PaddedCounter) rather than plain ints.
+type loadStats struct {
+	inserts []metrics.PaddedCounter
+	probes  []metrics.PaddedCounter
+}
+
+func newLoadStats(shards int) *loadStats {
+	return &loadStats{
+		inserts: make([]metrics.PaddedCounter, shards),
+		probes:  make([]metrics.PaddedCounter, shards),
+	}
+}
+
+// insert records one tuple insert routed to shard s. A nil receiver is a
+// no-op: the router only pays for accounting when the adaptive layer that
+// reads it is enabled.
+func (ls *loadStats) insert(s int) {
+	if ls != nil {
+		ls.inserts[s].Add(1)
+	}
+}
+
+// probe records one probe fan-in routed to shard s (no-op when nil).
+func (ls *loadStats) probe(s int) {
+	if ls != nil {
+		ls.probes[s].Add(1)
+	}
+}
+
+// loads returns the combined per-shard load vector (inserts + probes) since
+// the last reset. Safe to call from the monitor goroutine.
+func (ls *loadStats) loads() []uint64 {
+	out := make([]uint64, len(ls.inserts))
+	for i := range out {
+		out[i] = ls.inserts[i].Load() + ls.probes[i].Load()
+	}
+	return out
+}
+
+// reset zeroes the accounting after a rebalance epoch so the next imbalance
+// judgement only sees post-migration traffic.
+func (ls *loadStats) reset() {
+	for i := range ls.inserts {
+		ls.inserts[i].Store(0)
+		ls.probes[i].Store(0)
+	}
+}
+
+// ShardLoad is one shard's load snapshot, exposed for tests, diagnostics,
+// and the bench harness.
+type ShardLoad struct {
+	Inserts    uint64 // tuple inserts routed since the last rebalance
+	Probes     uint64 // probe fan-ins routed since the last rebalance
+	QueueDepth int    // batches pending in the shard's channel
+	Resident   int    // tuples currently stored by the shard (both streams)
+}
+
+// keyRing is the streaming key sample the rebalancer recomputes boundaries
+// from: a ring of the most recent inserted keys. A bounded ring (rather than
+// a reservoir over all history) deliberately forgets old keys, so boundaries
+// track drifting and stepping distributions instead of their historical
+// average.
+type keyRing struct {
+	keys []uint32
+	n    uint64 // keys ever added (ring position = n % len)
+}
+
+func newKeyRing(size int) *keyRing {
+	if size <= 0 {
+		size = 4096
+	}
+	return &keyRing{keys: make([]uint32, size)}
+}
+
+// add records one inserted key.
+func (kr *keyRing) add(key uint32) {
+	kr.keys[kr.n%uint64(len(kr.keys))] = key
+	kr.n++
+}
+
+// snapshot returns the sampled keys in unspecified order (the quantile
+// computation sorts them anyway).
+func (kr *keyRing) snapshot() []uint32 {
+	if kr.n < uint64(len(kr.keys)) {
+		return append([]uint32(nil), kr.keys[:kr.n]...)
+	}
+	return append([]uint32(nil), kr.keys...)
+}

@@ -169,6 +169,80 @@ func (s *ShiftingGaussian) Next() uint32 {
 	return scale(v)
 }
 
+// StepSkew draws keys uniformly from a narrow hot band whose location jumps
+// to a fresh position every period tuples. It is the adversarial workload for
+// static key-range sharding: at any instant nearly all tuples land in the
+// shards owning the current band, and every step invalidates boundaries
+// learned from earlier traffic — the scenario adaptive rebalancing exists
+// for. width is the band width as a fraction of the unit key interval.
+type StepSkew struct {
+	rng     *rand.Rand // in-band position
+	jumps   *rand.Rand // band-center sequence
+	width   float64
+	period  int
+	emitted int
+	center  float64
+}
+
+// NewStepSkew returns a seeded step-skew generator (width in (0, 1], period
+// in tuples; period <= 0 means the band never moves).
+func NewStepSkew(seed int64, width float64, period int) *StepSkew {
+	if width <= 0 || width > 1 {
+		panic("stream: step-skew width must be in (0, 1]")
+	}
+	return &StepSkew{
+		rng:    rand.New(rand.NewSource(seed)),
+		jumps:  rand.New(rand.NewSource(seed ^ 0x5ca1ab1e)),
+		width:  width,
+		period: period,
+	}
+}
+
+// Next returns the next key, jumping the hot band on period boundaries.
+func (s *StepSkew) Next() uint32 {
+	if s.emitted == 0 || (s.period > 0 && s.emitted%s.period == 0) {
+		s.center = s.jumps.Float64() * (1 - s.width)
+	}
+	s.emitted++
+	return scale(s.center + s.rng.Float64()*s.width)
+}
+
+// DriftingHotspot sweeps a narrow uniform band linearly across the unit key
+// interval, wrapping around: a continuously moving hotspot, the smooth
+// counterpart of StepSkew. period is the number of tuples per full sweep.
+type DriftingHotspot struct {
+	rng     *rand.Rand
+	width   float64
+	period  int
+	emitted int
+}
+
+// NewDriftingHotspot returns a seeded drifting-hotspot generator.
+func NewDriftingHotspot(seed int64, width float64, period int) *DriftingHotspot {
+	if width <= 0 || width > 1 {
+		panic("stream: hotspot width must be in (0, 1]")
+	}
+	if period <= 0 {
+		period = 1
+	}
+	return &DriftingHotspot{
+		rng:    rand.New(rand.NewSource(seed)),
+		width:  width,
+		period: period,
+	}
+}
+
+// Next returns the next key and advances the hotspot.
+func (h *DriftingHotspot) Next() uint32 {
+	start := float64(h.emitted%h.period) / float64(h.period)
+	h.emitted++
+	v := start + h.rng.Float64()*h.width
+	if v >= 1 {
+		v -= 1 // wrap inside the unit interval
+	}
+	return scale(v)
+}
+
 // StreamR and StreamS tag the two input streams of a two-way join.
 const (
 	StreamR = uint8(0)

@@ -238,6 +238,101 @@ func TestCalibrateDiffGaussianAchievesTarget(t *testing.T) {
 	}
 }
 
+// StepSkew must confine keys to a band of the configured width, jump the
+// band on period boundaries, and stay deterministic for a seed.
+func TestStepSkewBandsAndJumps(t *testing.T) {
+	const period = 1000
+	const width = 1.0 / 16
+	g := NewStepSkew(7, width, period)
+	bandWidth := uint32(width * float64(KeySpace))
+	var centers []uint32
+	for phase := 0; phase < 4; phase++ {
+		lo, hi := ^uint32(0), uint32(0)
+		for i := 0; i < period; i++ {
+			k := g.Next()
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		if hi-lo > bandWidth+bandWidth/8 {
+			t.Fatalf("phase %d spans %d keys, band width is %d", phase, hi-lo, bandWidth)
+		}
+		centers = append(centers, lo/2+hi/2)
+	}
+	moved := false
+	for i := 1; i < len(centers); i++ {
+		d := int64(centers[i]) - int64(centers[0])
+		if d > int64(bandWidth) || -d > int64(bandWidth) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("hot band never jumped: centers %v", centers)
+	}
+	a, b := NewStepSkew(9, width, period), NewStepSkew(9, width, period)
+	for i := 0; i < 3000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("step-skew not deterministic for a fixed seed")
+		}
+	}
+}
+
+// DriftingHotspot must move its band smoothly across the domain and wrap.
+func TestDriftingHotspotSweeps(t *testing.T) {
+	const period = 4000
+	const width = 1.0 / 16
+	g := NewDriftingHotspot(11, width, period)
+	bandWidth := uint32(width * float64(KeySpace))
+	// Sample the band position at the start, middle, and end of one sweep.
+	pos := func(n int) uint32 {
+		var sum uint64
+		for i := 0; i < n; i++ {
+			sum += uint64(g.Next())
+		}
+		return uint32(sum / uint64(n))
+	}
+	early := pos(period / 4)
+	mid := pos(period / 4)
+	late := pos(period / 4)
+	if !(early < mid && mid < late) {
+		t.Fatalf("hotspot not sweeping upward: %d, %d, %d", early, mid, late)
+	}
+	// Each quarter-sweep mean should advance by roughly KeySpace/4.
+	quarter := uint32(float64(KeySpace) / 4)
+	if d := mid - early; d < quarter/2 || d > 2*quarter {
+		t.Fatalf("sweep rate off: quarter advance = %d, want ~%d", d, quarter)
+	}
+	// All keys stay in the domain (wrap, no overflow past 2*KeySpace).
+	for i := 0; i < 3*period; i++ {
+		if k := g.Next(); k > KeySpace+bandWidth {
+			t.Fatalf("hotspot key %d escaped the unit domain", k)
+		}
+	}
+}
+
+func TestSkewGeneratorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStepSkew(1, 0, 10) },
+		func() { NewStepSkew(1, 1.5, 10) },
+		func() { NewDriftingHotspot(1, -1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid width accepted")
+				}
+			}()
+			f()
+		}()
+	}
+	// period <= 0 is tolerated: static band / single-tuple sweep.
+	NewStepSkew(1, 0.5, 0).Next()
+	NewDriftingHotspot(1, 0.5, 0).Next()
+}
+
 func BenchmarkUniform(b *testing.B) {
 	g := NewUniform(1)
 	for i := 0; i < b.N; i++ {

@@ -182,6 +182,10 @@ type RunStats struct {
 	MergeTime  time.Duration
 	MeanMicros float64
 	P99Micros  float64
+	// Rebalances and MigratedTuples report the adaptive sharded runtime's
+	// rebalance epochs and cross-shard window migrations (zero elsewhere).
+	Rebalances     int
+	MigratedTuples int
 }
 
 // RunParallel executes the parallel shared-index band join over a batch of
@@ -274,6 +278,27 @@ func QuantilePartition(sample []uint32, shards int) Partitioner {
 	return shard.NewQuantilePartitioner(sample, shards)
 }
 
+// RebalancePolicy tunes the adaptive shard rebalancer enabled by
+// ShardedOptions.Adaptive. The zero value selects defaults sized from the
+// run's windows.
+type RebalancePolicy struct {
+	// MaxRatio is the load-imbalance trigger: a rebalance epoch is
+	// requested when max(shard load) / mean(shard load) since the previous
+	// epoch reaches this ratio (default 1.5).
+	MaxRatio float64
+	// MinGap is the minimum number of arrivals between consecutive
+	// rebalance epochs, bounding migration overhead (default 8x the larger
+	// window).
+	MinGap int
+	// SampleSize is the length of the recent-key sample the new shard
+	// boundaries are computed from (default 4096).
+	SampleSize int
+	// ForceEvery, when positive, rebalances unconditionally every that
+	// many arrivals instead of consulting the load monitor — deterministic,
+	// for tests and demos.
+	ForceEvery int
+}
+
 // ShardedOptions configures the key-range sharded parallel join. The
 // embedded JoinOptions carry the windows, band, backend, and index tuning of
 // the per-shard join instances; OnMatch observes matches in global arrival
@@ -291,6 +316,16 @@ type ShardedOptions struct {
 	// Partitioner overrides the default equal-width key ranges; use
 	// QuantilePartition for skewed key distributions.
 	Partitioner Partitioner
+	// Adaptive enables online shard rebalancing: per-shard load accounting
+	// feeds a monitor that detects imbalance, and each rebalance epoch
+	// recomputes boundaries from a sample of recently inserted keys and
+	// migrates live window contents between shards. The match multiset is
+	// unaffected — rebalancing only changes which shard does the work. The
+	// initial Partitioner (or the equal-width default) only seeds the first
+	// epoch.
+	Adaptive bool
+	// Rebalance tunes the adaptive layer; ignored unless Adaptive is set.
+	Rebalance RebalancePolicy
 }
 
 // RunSharded executes the key-range sharded parallel band join over a batch
@@ -328,7 +363,14 @@ func RunSharded(arrivals []Arrival, o ShardedOptions) (RunStats, error) {
 			MergeRatio:     o.Index.MergeRatio,
 			InsertionDepth: o.Index.InsertionDepth,
 		},
-		Part: o.Partitioner,
+		Part:     o.Partitioner,
+		Adaptive: o.Adaptive,
+		Rebalance: shard.Policy{
+			MaxRatio:   o.Rebalance.MaxRatio,
+			MinGap:     o.Rebalance.MinGap,
+			SampleSize: o.Rebalance.SampleSize,
+			ForceEvery: o.Rebalance.ForceEvery,
+		},
 	}
 	if o.OnMatch != nil {
 		cb := o.OnMatch
@@ -342,11 +384,13 @@ func RunSharded(arrivals []Arrival, o ShardedOptions) (RunStats, error) {
 	}
 	st := shard.Run(in, cfg)
 	return RunStats{
-		Tuples:    st.Tuples,
-		Matches:   st.Matches,
-		Elapsed:   st.Elapsed,
-		Mtps:      st.Mtps(),
-		Merges:    st.Merges,
-		MergeTime: st.MergeTime,
+		Tuples:         st.Tuples,
+		Matches:        st.Matches,
+		Elapsed:        st.Elapsed,
+		Mtps:           st.Mtps(),
+		Merges:         st.Merges,
+		MergeTime:      st.MergeTime,
+		Rebalances:     st.Rebalances,
+		MigratedTuples: st.Migrated,
 	}, nil
 }

@@ -37,6 +37,21 @@ func DriftingGaussianSource(seed int64, r float64, phase1, phase2 int) KeySource
 	return stream.NewShiftingGaussian(seed, r, phase1, phase2)
 }
 
+// StepSkewSource draws keys uniformly from a narrow hot band (width is the
+// band's fraction of the key domain) whose location jumps to a fresh
+// position every period tuples. It is the adversarial workload for static
+// key-range sharding — the case ShardedOptions.Adaptive targets.
+func StepSkewSource(seed int64, width float64, period int) KeySource {
+	return stream.NewStepSkew(seed, width, period)
+}
+
+// DriftingHotspotSource sweeps a narrow hot band (width as a fraction of the
+// key domain) linearly across the domain, wrapping, with period tuples per
+// full sweep — the smooth counterpart of StepSkewSource.
+func DriftingHotspotSource(seed int64, width float64, period int) KeySource {
+	return stream.NewDriftingHotspot(seed, width, period)
+}
+
 // Interleave merges two key sources into n arrivals where shareS is the
 // probability the next tuple belongs to stream S (0.5 = symmetric).
 func Interleave(seed int64, r, s KeySource, shareS float64, n int) []Arrival {
