@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -108,11 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failures++
 			continue
 		}
-		gBase, gCur, cells := compare(b.Table, c.Table)
+		gBase, gCur, cells, dropped := compare(b.Table, c.Table)
 		if cells == 0 {
 			fmt.Fprintf(stdout, "FAIL %-16s no comparable throughput cells (refresh the baseline?)\n", b.ID)
 			failures++
 			continue
+		}
+		// A cell present in the baseline but missing (or non-positive) in
+		// the current report would silently shrink the geomean — and a
+		// regression could hide in exactly the cells that vanished. Shrunken
+		// coverage is itself a failure.
+		if len(dropped) > 0 {
+			fmt.Fprintf(stdout, "FAIL %-16s %d of %d baseline cell(s) missing or non-positive in current report: %s\n",
+				b.ID, len(dropped), cells+len(dropped), strings.Join(dropped, ", "))
+			failures++
 		}
 		ratio := gCur / (gBase * scale)
 		status := "ok  "
@@ -136,24 +146,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // compare returns the geometric means of the throughput cells shared by the
-// two tables (matched by row label and column name) and the cell count.
-func compare(base, cur bench.Table) (gBase, gCur float64, cells int) {
+// two tables (matched by row label and column name), the shared-cell count,
+// and the sorted keys of baseline cells with no usable counterpart in the
+// current table — the caller fails the gate when coverage shrank.
+func compare(base, cur bench.Table) (gBase, gCur float64, cells int, dropped []string) {
 	bc := cellMap(base)
 	cc := cellMap(cur)
 	var sumB, sumC float64
 	for key, vb := range bc {
 		vc, ok := cc[key]
 		if !ok {
+			dropped = append(dropped, key)
 			continue
 		}
 		sumB += math.Log(vb)
 		sumC += math.Log(vc)
 		cells++
 	}
+	sort.Strings(dropped)
 	if cells == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, dropped
 	}
-	return math.Exp(sumB / float64(cells)), math.Exp(sumC / float64(cells)), cells
+	return math.Exp(sumB / float64(cells)), math.Exp(sumC / float64(cells)), cells, dropped
 }
 
 // cellMap extracts the positive numeric throughput cells of a table, keyed

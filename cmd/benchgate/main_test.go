@@ -147,3 +147,48 @@ func TestCellMapSkipsNonThroughput(t *testing.T) {
 		t.Fatalf("latency columns leaked into gate: %v", m)
 	}
 }
+
+// A cell present in the baseline but absent from the current report must
+// fail the gate even when the surviving cells look healthy — silent geomean
+// shrinkage can mask a regression in exactly the vanished cells.
+func TestGateFailsOnDroppedCells(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0, 2.0))
+	// Current report keeps only the first two rows (drops "gaussian|Mtps")
+	// with unchanged throughput elsewhere.
+	cur := report(1.0, 2.0, 2.0, 2.0)
+	cur.Experiments[0].Table.Rows = cur.Experiments[0].Table.Rows[:2]
+	c := writeReport(t, dir, "cur.json", cur)
+	code, out := gate(t, "-baseline", b, "-current", c)
+	if code != 1 {
+		t.Fatalf("dropped cell passed the gate (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "missing or non-positive") || !strings.Contains(out, "gaussian|Mtps") {
+		t.Fatalf("dropped cell not reported by name:\n%s", out)
+	}
+}
+
+// A cell that turned non-positive (unparseable or <= 0) is dropped from
+// cellMap and must fail the same way.
+func TestGateFailsOnNonPositiveCell(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0, 2.0))
+	cur := report(1.0, 2.0, 2.0, 2.0)
+	cur.Experiments[0].Table.Rows[2][1] = "0.0000" // gaussian throughput hit zero
+	c := writeReport(t, dir, "cur.json", cur)
+	code, out := gate(t, "-baseline", b, "-current", c)
+	if code != 1 || !strings.Contains(out, "gaussian|Mtps") {
+		t.Fatalf("non-positive cell passed or was not named (exit %d):\n%s", code, out)
+	}
+}
+
+// Extra cells only present in the current report (a new row in a sweep) must
+// not fail the gate: coverage grew, nothing was hidden.
+func TestGateToleratesExtraCurrentCells(t *testing.T) {
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", report(1.0, 2.0, 2.0))
+	c := writeReport(t, dir, "cur.json", report(1.0, 2.0, 2.0, 2.0))
+	if code, out := gate(t, "-baseline", b, "-current", c); code != 0 {
+		t.Fatalf("grown current report failed (exit %d):\n%s", code, out)
+	}
+}

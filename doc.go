@@ -36,11 +36,24 @@
 //     shards, recomputes boundaries from a recent-key sample, and migrates
 //     live window contents — without changing the match multiset.
 //
+// The time-based variants — TimeJoin (serial), RunParallelTime (shared
+// index), and RunShardedTime (sharded) — realize the paper's Section 2.1
+// time-window extension and add out-of-order event-time ingestion: setting
+// a LatePolicy (plus a Slack) admits disordered arrivals through a
+// watermark-driven reorder buffer, joining any input whose disorder stays
+// within Slack exactly like its timestamp-sorted equivalent. Tuples later
+// than the slack are dropped (LateDrop), admitted clamped to the watermark
+// (LateEmit), or handed to an OnLate side channel (LateCall);
+// RunStats.LateDropped and RunStats.MaxObservedDisorder report what the
+// stream actually did.
+//
 // Workload helpers (UniformSource, GaussianSource, GammaSource,
 // DriftingGaussianSource, StepSkewSource, DriftingHotspotSource,
 // Interleave) regenerate the paper's synthetic streams plus the moving
 // hot-band workloads the adaptive runtime targets; DiffForMatchRate and
-// CalibrateDiff pick band widths that hit a target match rate.
+// CalibrateDiff pick band widths that hit a target match rate, and
+// TimestampArrivals/ShuffleWithinSlack turn any of them into sorted or
+// bounded-disorder event-time workloads.
 //
 // The repository also contains the full evaluation harness: cmd/pimbench
 // regenerates every figure of the paper's evaluation section plus the

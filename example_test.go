@@ -173,3 +173,50 @@ func ExampleNewTimeJoin() {
 	// 1
 	// 0
 }
+
+// ExampleNewTimeJoin_outOfOrder enables buffered out-of-order ingestion: a
+// LatePolicy plus a Slack lets event times arrive disordered. Tuples are
+// joined in timestamp order as the watermark (largest observed timestamp
+// minus Slack) releases them; Flush drains the buffer at end-of-stream, and
+// tuples later than the slack follow the policy.
+func ExampleNewTimeJoin_outOfOrder() {
+	j, _ := pimtree.NewTimeJoin(pimtree.TimeJoinOptions{
+		Span:       100,
+		Diff:       0,
+		Slack:      20, // tolerate up to 20 units of disorder
+		LatePolicy: pimtree.LateDrop,
+	})
+	j.Push(pimtree.R, 7, 50)
+	j.Push(pimtree.S, 7, 60) // arrives before the R tuple below...
+	j.Push(pimtree.R, 9, 45) // ...but only 15 late: admitted in ts order
+	j.Push(pimtree.S, 9, 47) // watermark is 40; 47 is admissible too
+	flushed := j.Flush()     // drain the reorder buffer
+	fmt.Println("matches:", j.Matches(), "of which at flush:", flushed)
+	fmt.Println("late dropped:", j.LateDropped(), "max disorder:", j.MaxObservedDisorder())
+	// Output:
+	// matches: 2 of which at flush: 2
+	// late dropped: 0 max disorder: 15
+}
+
+// ExampleRunShardedTime runs the sharded time-window join over a disordered
+// batch: the router's reorder buffer admits event-time disorder up to Slack,
+// and the run reports what it saw.
+func ExampleRunShardedTime() {
+	arrivals := []pimtree.TimedArrival{
+		{Stream: pimtree.R, Key: 100, TS: 10},
+		{Stream: pimtree.S, Key: 300, TS: 30}, // overtook the tuple below
+		{Stream: pimtree.R, Key: 300, TS: 25}, // 5 late: within slack
+		{Stream: pimtree.S, Key: 101, TS: 40}, // pairs with key 100
+	}
+	st, _ := pimtree.RunShardedTime(arrivals, pimtree.ShardedTimeOptions{
+		Shards:     2,
+		Span:       100,
+		MaxLive:    16,
+		Diff:       1,
+		Slack:      8,
+		LatePolicy: pimtree.LateDrop,
+	})
+	fmt.Println(st.Tuples, "tuples,", st.Matches, "matches,",
+		st.LateDropped, "late, max disorder", st.MaxObservedDisorder)
+	// Output: 4 tuples, 2 matches, 0 late, max disorder 5
+}

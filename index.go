@@ -12,8 +12,10 @@ import (
 // paper's defaults.
 type IndexOptions struct {
 	// MergeRatio is m: the mutable component merges into the immutable one
-	// after m*w inserts. The paper recommends 1/16 for single-threaded use
-	// and 1 under heavy concurrency. Default 1/16.
+	// after m*w inserts. Valid values lie in (0, 1]; zero selects the
+	// default. The paper recommends 1/16 for single-threaded use (the
+	// default here) and 1 under heavy concurrency (the parallel drivers'
+	// default).
 	MergeRatio float64
 	// InsertionDepth is DI: the depth of the immutable component whose
 	// nodes anchor the insert partitions. Deeper means more, smaller
@@ -38,8 +40,10 @@ func NewIndex(windowLen int, opt IndexOptions) (*Index, error) {
 	if windowLen <= 0 {
 		return nil, fmt.Errorf("pimtree: window length %d must be positive", windowLen)
 	}
-	if opt.MergeRatio < 0 || opt.MergeRatio > 1 {
-		return nil, fmt.Errorf("pimtree: merge ratio %f outside (0, 1]", opt.MergeRatio)
+	// Zero means "use the default"; everything else must land in (0, 1]
+	// (the negated form also rejects NaN).
+	if opt.MergeRatio != 0 && !(opt.MergeRatio > 0 && opt.MergeRatio <= 1) {
+		return nil, fmt.Errorf("pimtree: merge ratio %f outside (0, 1] (zero selects the default)", opt.MergeRatio)
 	}
 	if opt.InsertionDepth < 0 {
 		return nil, fmt.Errorf("pimtree: insertion depth %d must be >= 0", opt.InsertionDepth)

@@ -1,0 +1,61 @@
+package pimtree
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// NewIndex's MergeRatio contract: zero selects the default, anything else
+// must lie in (0, 1], and the error spells the zero-means-default rule out.
+func TestNewIndexMergeRatioValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		ratio float64
+		ok    bool
+	}{
+		{"zero selects default", 0, true},
+		{"smallest positive", math.SmallestNonzeroFloat64, true},
+		{"paper serial default", 1.0 / 16, true},
+		{"half", 0.5, true},
+		{"upper bound inclusive", 1, true},
+		{"negative", -0.001, false},
+		{"negative one", -1, false},
+		{"just above one", math.Nextafter(1, 2), false},
+		{"two", 2, false},
+		{"NaN", math.NaN(), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ix, err := NewIndex(64, IndexOptions{MergeRatio: c.ratio})
+			if c.ok {
+				if err != nil {
+					t.Fatalf("ratio %v rejected: %v", c.ratio, err)
+				}
+				// The index must actually work with the accepted ratio.
+				ix.Insert(1, 0)
+				found := false
+				ix.Search(0, 2, func(key, ref uint32) bool { found = true; return true })
+				if !found {
+					t.Fatal("accepted index lost an insert")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ratio %v accepted", c.ratio)
+			}
+			if !strings.Contains(err.Error(), "zero selects the default") {
+				t.Fatalf("error does not state the zero-means-default rule: %v", err)
+			}
+		})
+	}
+}
+
+func TestNewIndexOtherValidation(t *testing.T) {
+	if _, err := NewIndex(0, IndexOptions{}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewIndex(16, IndexOptions{InsertionDepth: -1}); err == nil {
+		t.Fatal("negative insertion depth accepted")
+	}
+}

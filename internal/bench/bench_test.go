@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig14",
 		"abl-cssfanout", "abl-singlelock", "abl-edgescan",
 		"abl-sharded", "abl-shardbatch", "abl-shardskew", "abl-adaptive",
+		"abl-ooo",
 		"model",
 	}
 	for _, id := range want {

@@ -61,6 +61,11 @@ type Stats struct {
 	// completed rebalance epochs and window tuples moved across shards.
 	Rebalances int
 	Migrated   int
+	// LateDropped and MaxDisorder are filled by runtimes with out-of-order
+	// admission (the timed sharded router): late tuples not joined, and the
+	// largest observed event-time lateness.
+	LateDropped uint64
+	MaxDisorder uint64
 }
 
 // Mtps returns the throughput in million tuples per second.

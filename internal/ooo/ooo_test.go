@@ -1,0 +1,252 @@
+package ooo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collect(dst *[]Tuple) func(Tuple) {
+	return func(t Tuple) { *dst = append(*dst, t) }
+}
+
+func TestSortedInputPassesThrough(t *testing.T) {
+	r := New(0, Drop, nil)
+	var out []Tuple
+	for i := 0; i < 100; i++ {
+		r.Push(Tuple{Stream: uint8(i % 2), Key: uint32(i), TS: uint64(i * 3)}, collect(&out))
+	}
+	r.Flush(collect(&out))
+	if len(out) != 100 {
+		t.Fatalf("released %d of 100", len(out))
+	}
+	for i, tt := range out {
+		if tt.Key != uint32(i) {
+			t.Fatalf("out[%d].Key = %d", i, tt.Key)
+		}
+	}
+	if r.LateDropped() != 0 || r.MaxDisorder() != 0 || r.Pending() != 0 {
+		t.Fatalf("late=%d disorder=%d pending=%d", r.LateDropped(), r.MaxDisorder(), r.Pending())
+	}
+}
+
+// Disorder within the slack must release the stable timestamp sort of the
+// input, with nothing late — the core guarantee the join runtimes rely on.
+func TestWithinSlackReleasesStableSort(t *testing.T) {
+	const n, slack = 2000, 64
+	rng := rand.New(rand.NewSource(7))
+	in := make([]Tuple, n)
+	ts := uint64(0)
+	for i := range in {
+		ts += uint64(rng.Intn(8))
+		in[i] = Tuple{Stream: uint8(rng.Intn(2)), Key: uint32(i), TS: ts}
+	}
+	// Bounded-disorder permutation: stable sort by ts + U[0, slack]. If a
+	// tuple precedes another in the permuted order, its ts exceeds the
+	// other's by at most slack.
+	type kt struct {
+		t Tuple
+		k uint64
+	}
+	kts := make([]kt, n)
+	for i, tt := range in {
+		kts[i] = kt{t: tt, k: tt.TS + uint64(rng.Intn(slack+1))}
+	}
+	sort.SliceStable(kts, func(i, j int) bool { return kts[i].k < kts[j].k })
+
+	r := New(slack, Drop, nil)
+	var out []Tuple
+	for _, e := range kts {
+		r.Push(e.t, collect(&out))
+	}
+	r.Flush(collect(&out))
+
+	want := append([]Tuple(nil), in...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].TS < want[j].TS })
+	if r.LateDropped() != 0 {
+		t.Fatalf("disorder within slack dropped %d tuples", r.LateDropped())
+	}
+	if len(out) != n {
+		t.Fatalf("released %d of %d", len(out), n)
+	}
+	for i := range out {
+		if out[i].TS != want[i].TS {
+			t.Fatalf("out[%d].TS = %d, want %d", i, out[i].TS, want[i].TS)
+		}
+	}
+	if r.MaxDisorder() > slack {
+		t.Fatalf("MaxDisorder %d exceeds slack %d", r.MaxDisorder(), slack)
+	}
+}
+
+func TestReleaseOrderIsNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := New(32, Emit, nil)
+	last := uint64(0)
+	check := func(tt Tuple) {
+		if tt.TS < last {
+			t.Fatalf("release regressed: %d after %d", tt.TS, last)
+		}
+		last = tt.TS
+	}
+	ts := uint64(1000)
+	for i := 0; i < 5000; i++ {
+		// Random walk with occasional deep jumps back: plenty of lates.
+		ts += uint64(rng.Intn(20))
+		jitter := uint64(rng.Intn(100))
+		tsEff := ts
+		if jitter < ts {
+			tsEff = ts - jitter
+		}
+		r.Push(Tuple{Stream: uint8(i % 2), Key: uint32(i), TS: tsEff}, check)
+	}
+	r.Flush(check)
+	if r.Pending() != 0 {
+		t.Fatalf("pending %d after flush", r.Pending())
+	}
+}
+
+func TestLatePolicies(t *testing.T) {
+	push := func(r *Reorderer) []Tuple {
+		var out []Tuple
+		r.Push(Tuple{Key: 1, TS: 100}, collect(&out))
+		r.Push(Tuple{Key: 2, TS: 200}, collect(&out)) // watermark now 190
+		r.Push(Tuple{Key: 3, TS: 50}, collect(&out))  // 150 late, beyond slack 10
+		r.Flush(collect(&out))
+		return out
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		r := New(10, Drop, nil)
+		out := push(r)
+		if len(out) != 2 || r.LateDropped() != 1 {
+			t.Fatalf("out=%v late=%d", out, r.LateDropped())
+		}
+		if r.MaxDisorder() != 150 {
+			t.Fatalf("MaxDisorder = %d, want 150", r.MaxDisorder())
+		}
+	})
+	t.Run("emit clamps to watermark", func(t *testing.T) {
+		r := New(10, Emit, nil)
+		out := push(r)
+		if len(out) != 3 || r.LateDropped() != 0 {
+			t.Fatalf("out=%v late=%d", out, r.LateDropped())
+		}
+		// The late tuple (key 3) is released immediately after key 1's
+		// release, clamped to the watermark 190.
+		if out[1].Key != 3 || out[1].TS != 190 {
+			t.Fatalf("clamped tuple = %+v", out[1])
+		}
+	})
+	t.Run("call side-channel", func(t *testing.T) {
+		var lates []Tuple
+		var lateness []uint64
+		r := New(10, Call, func(tt Tuple, l uint64) {
+			lates = append(lates, tt)
+			lateness = append(lateness, l)
+		})
+		out := push(r)
+		if len(out) != 2 || r.LateDropped() != 1 {
+			t.Fatalf("out=%v late=%d", out, r.LateDropped())
+		}
+		if len(lates) != 1 || lates[0].Key != 3 || lateness[0] != 150 {
+			t.Fatalf("lates=%v lateness=%v", lates, lateness)
+		}
+	})
+	t.Run("onLate observes drops too", func(t *testing.T) {
+		calls := 0
+		r := New(10, Drop, func(Tuple, uint64) { calls++ })
+		push(r)
+		if calls != 1 {
+			t.Fatalf("onLate calls = %d", calls)
+		}
+	})
+}
+
+func TestTiesReleaseInArrivalOrder(t *testing.T) {
+	r := New(5, Drop, nil)
+	var out []Tuple
+	r.Push(Tuple{Stream: 1, Key: 10, TS: 100}, collect(&out))
+	r.Push(Tuple{Stream: 0, Key: 11, TS: 100}, collect(&out))
+	r.Push(Tuple{Stream: 1, Key: 12, TS: 100}, collect(&out))
+	r.Flush(collect(&out))
+	for i, want := range []uint32{10, 11, 12} {
+		if out[i].Key != want {
+			t.Fatalf("release order %v, want arrival order", out)
+		}
+	}
+}
+
+func TestWatermarkBeforeAndBelowSlack(t *testing.T) {
+	r := New(100, Drop, nil)
+	if r.Watermark() != 0 {
+		t.Fatal("watermark before first tuple")
+	}
+	var out []Tuple
+	r.Push(Tuple{TS: 40}, collect(&out))
+	if r.Watermark() != 0 {
+		t.Fatalf("watermark = %d with maxTS below slack", r.Watermark())
+	}
+	r.Push(Tuple{TS: 170}, collect(&out))
+	if r.Watermark() != 70 {
+		t.Fatalf("watermark = %d, want 70", r.Watermark())
+	}
+	// ts=40 was released while the watermark was still 0? No: released only
+	// when <= watermark. It must have been released by the second push.
+	if len(out) != 1 || out[0].TS != 40 {
+		t.Fatalf("released %v", out)
+	}
+}
+
+// Flush hands tuples past the slack frontier downstream, so it must raise
+// the watermark to cover them: a post-Flush push older than anything
+// released is late, never re-released out of order. (Regression: the
+// watermark once stayed at maxTS-slack after Flush, so ts=90 below would be
+// buffered and released after ts=100 — a regressed release that panics the
+// downstream time rings.)
+func TestFlushRaisesWatermark(t *testing.T) {
+	r := New(20, Drop, nil)
+	var out []Tuple
+	r.Push(Tuple{Key: 1, TS: 100}, collect(&out)) // buffered (wm 80)
+	r.Flush(collect(&out))                        // releases ts=100
+	if len(out) != 1 || r.Watermark() != 100 {
+		t.Fatalf("after flush: out=%v watermark=%d", out, r.Watermark())
+	}
+	r.Push(Tuple{Key: 2, TS: 90}, collect(&out))  // below the flushed frontier: late
+	r.Push(Tuple{Key: 3, TS: 120}, collect(&out)) // fresh tuple, buffered (wm 100)
+	r.Flush(collect(&out))
+	if r.LateDropped() != 1 {
+		t.Fatalf("post-flush older tuple not late (dropped=%d)", r.LateDropped())
+	}
+	if len(out) != 2 || out[1].TS != 120 {
+		t.Fatalf("releases = %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].TS < out[i-1].TS {
+			t.Fatalf("release regressed across Flush: %v", out)
+		}
+	}
+	// Mid-stream Flush through the whole pipeline must stay ordered too.
+	last := uint64(0)
+	check := func(tt Tuple) {
+		if tt.TS < last {
+			t.Fatalf("regressed release %d after %d", tt.TS, last)
+		}
+		last = tt.TS
+	}
+	r2 := New(16, Emit, nil)
+	ts := uint64(500)
+	for i := 0; i < 500; i++ {
+		if i%37 == 0 {
+			r2.Flush(check)
+		}
+		jitter := uint64(i * 31 % 40) // deterministic disorder up to 39
+		tsEff := ts
+		if jitter < ts {
+			tsEff = ts - jitter
+		}
+		r2.Push(Tuple{Stream: uint8(i % 2), Key: uint32(i), TS: tsEff}, check)
+		ts += uint64(i % 5)
+	}
+	r2.Flush(check)
+}

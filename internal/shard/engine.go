@@ -31,6 +31,7 @@ type op struct {
 	lo, hi uint32 // probe band range
 	seq    uint64 // insert: the tuple's global per-stream sequence
 	te, tl uint64 // watermark (inserts: te only) / probe window bounds
+	ts     uint64 // timed mode: the tuple's event timestamp (inserts only)
 	idx    int    // probe: arrival index for the result slot
 	bucket int    // probe: fan-out position within the arrival's result row
 }
@@ -40,22 +41,31 @@ type op struct {
 // tail as the global window watermark passes them. At most W tuples of a
 // stream are globally live, so a shard (which holds a subset) never exceeds
 // the ring capacity.
+//
+// In timed mode each slot also carries the tuple's event timestamp, eviction
+// is driven by a timestamp watermark (minimum live event time) instead of a
+// sequence one, and W is the caller's MaxLive bound.
 type store struct {
-	keys []uint32
-	seqs []uint64
-	mask uint64
-	head uint64 // append position (monotone)
-	tail uint64 // evict position (monotone)
-	wm   uint64 // highest eviction watermark applied
+	keys  []uint32
+	seqs  []uint64
+	times []uint64 // timed mode only (nil for count windows)
+	mask  uint64
+	head  uint64 // append position (monotone)
+	tail  uint64 // evict position (monotone)
+	wm    uint64 // highest eviction watermark applied (seq, or minTS when timed)
 }
 
-func newStore(w int) *store {
+func newStore(w int, timed bool) *store {
 	cap := pow2Ceil(uint64(w))
-	return &store{
+	s := &store{
 		keys: make([]uint32, cap),
 		seqs: make([]uint64, cap),
 		mask: cap - 1,
 	}
+	if timed {
+		s.times = make([]uint64, cap)
+	}
+	return s
 }
 
 func pow2Ceil(n uint64) uint64 {
@@ -88,6 +98,48 @@ func (s *store) append(key uint32, seq uint64) (ref uint32) {
 	s.seqs[slot] = seq
 	s.head++
 	return uint32(slot)
+}
+
+// evictTime drops tuples with event time below minTS from the tail (timed
+// mode): admission order is timestamp order, so the tail always holds the
+// oldest event time.
+func (s *store) evictTime(minTS uint64, onEvict func(p kv.Pair)) {
+	for s.tail < s.head {
+		slot := s.tail & s.mask
+		if s.times[slot] >= minTS {
+			break
+		}
+		if onEvict != nil {
+			onEvict(kv.Pair{Key: s.keys[slot], Ref: uint32(slot)})
+		}
+		s.tail++
+	}
+	if minTS > s.wm {
+		s.wm = minTS
+	}
+}
+
+// appendTimed stores a timed tuple. Overflow means the caller's MaxLive
+// bound was wrong: panic rather than corrupt results (mirrors the parallel
+// time window's reuse guard).
+func (s *store) appendTimed(key uint32, seq, ts uint64) (ref uint32) {
+	if s.head-s.tail == uint64(len(s.keys)) {
+		panic("shard: time store overflow — raise MaxLive")
+	}
+	slot := s.head & s.mask
+	s.keys[slot] = key
+	s.seqs[slot] = seq
+	s.times[slot] = ts
+	s.head++
+	return uint32(slot)
+}
+
+// resolveTimed maps an index entry back to the slot's current occupant with
+// its event timestamp. A stale entry (slot evicted, possibly reused) fails
+// the key comparison or the caller's timestamp/sequence filters.
+func (s *store) resolveTimed(p kv.Pair) (seq, ts uint64, ok bool) {
+	slot := uint64(p.Ref) & s.mask
+	return s.seqs[slot], s.times[slot], s.keys[slot] == p.Key
 }
 
 // resolve maps an index entry back to the slot's current occupant. A stale
@@ -178,6 +230,7 @@ func newShardIndex(cfg Config, w int) shardIndex {
 // rebalance epoch, on the router goroutine while every worker is quiescent at
 // the drain barrier — so the engine needs no locks of its own.
 type engine struct {
+	timed  bool // time-window mode: ts-filtered probes, ts-watermark evicts
 	stores [2]*store
 	idxs   [2]shardIndex
 	evicts [2]func(kv.Pair) // Remove hooks for eager indexes (nil otherwise)
@@ -195,14 +248,14 @@ type engine struct {
 }
 
 func newEngine(cfg Config) *engine {
-	e := &engine{}
-	e.stores[0] = newStore(cfg.WR)
+	e := &engine{timed: cfg.Timed}
+	e.stores[0] = newStore(cfg.WR, cfg.Timed)
 	e.idxs[0] = newShardIndex(cfg, cfg.WR)
 	if cfg.Self {
 		e.stores[1] = e.stores[0]
 		e.idxs[1] = e.idxs[0]
 	} else {
-		e.stores[1] = newStore(cfg.WS)
+		e.stores[1] = newStore(cfg.WS, cfg.Timed)
 		e.idxs[1] = newShardIndex(cfg, cfg.WS)
 	}
 	for i := 0; i < 2; i++ {
@@ -215,11 +268,18 @@ func newEngine(cfg Config) *engine {
 }
 
 // insert applies an insert op: advance the stream's eviction watermark, then
-// store and index the tuple.
+// store and index the tuple. In timed mode o.te carries the minimum live
+// event time and o.ts the tuple's timestamp.
 func (e *engine) insert(o *op) {
 	st := e.stores[o.stream]
-	st.evict(o.te, e.evicts[o.stream])
-	ref := st.append(o.key, o.seq)
+	var ref uint32
+	if e.timed {
+		st.evictTime(o.te, e.evicts[o.stream])
+		ref = st.appendTimed(o.key, o.seq, o.ts)
+	} else {
+		st.evict(o.te, e.evicts[o.stream])
+		ref = st.append(o.key, o.seq)
+	}
 	e.idxs[o.stream].Insert(kv.Pair{Key: o.key, Ref: ref})
 }
 
@@ -227,14 +287,33 @@ func (e *engine) insert(o *op) {
 // matched global sequences, deduplicated. Dedup matters only for the
 // delta-merge indexes: a stale entry whose ring slot was reused by a live
 // tuple of the same key resolves to the same sequence as the fresh entry.
+//
+// Count mode filters by the [te, tl) sequence window captured at admission.
+// Timed mode filters by seq < tl (tuples admitted before the probe) and
+// ts >= te (the probe's minimum live event time); admission order is
+// timestamp order, so seq < tl already implies ts <= the probe's timestamp.
 func (e *engine) probe(o *op) []uint64 {
 	st := e.stores[o.stream]
-	st.evict(o.te, e.evicts[o.stream])
+	if e.timed {
+		st.evictTime(o.te, e.evicts[o.stream])
+	} else {
+		st.evict(o.te, e.evicts[o.stream])
+	}
 	e.scratch = e.scratch[:0]
 	e.idxs[o.stream].Query(o.lo, o.hi, func(p kv.Pair) bool {
-		seq, ok := st.resolve(p)
-		if !ok || seq < o.te || seq >= o.tl {
-			return true
+		var seq uint64
+		if e.timed {
+			s, ts, ok := st.resolveTimed(p)
+			if !ok || s >= o.tl || ts < o.te {
+				return true
+			}
+			seq = s
+		} else {
+			s, ok := st.resolve(p)
+			if !ok || s < o.te || s >= o.tl {
+				return true
+			}
+			seq = s
 		}
 		for _, s := range e.scratch {
 			if s == seq {
@@ -258,6 +337,13 @@ func (e *engine) maintain(self bool) {
 			break
 		}
 		st := e.stores[i]
+		if e.timed {
+			e.idxs[i].Maintain(func(p kv.Pair) bool {
+				_, ts, ok := st.resolveTimed(p)
+				return ok && ts >= st.wm
+			})
+			continue
+		}
 		e.idxs[i].Maintain(func(p kv.Pair) bool {
 			seq, ok := st.resolve(p)
 			return ok && seq >= st.wm
@@ -314,7 +400,7 @@ func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
 	m, t := e.idxs[slot].Merges()
 	e.baseMerges += m
 	e.baseMergeTime += t
-	st := newStore(w)
+	st := newStore(w, false) // rebalancing (and thus resetSlot) is count-mode only
 	st.wm = wm
 	e.stores[slot] = st
 	e.idxs[slot] = newShardIndex(cfg, w)

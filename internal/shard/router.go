@@ -26,6 +26,7 @@ import (
 
 	"pimtree/internal/core"
 	"pimtree/internal/join"
+	"pimtree/internal/ooo"
 	"pimtree/internal/stream"
 )
 
@@ -61,6 +62,20 @@ type Config struct {
 	Adaptive bool
 	// Rebalance tunes the adaptive layer; ignored unless Adaptive is set.
 	Rebalance Policy
+
+	// Timed switches the runtime to time-based windows: arrivals enter via
+	// PushTimed, carry event timestamps, expire by Span instead of window
+	// position, and are admitted through a bounded reorder buffer that
+	// tolerates event-time disorder up to Slack (late tuples follow Late /
+	// OnLate). WR/WS are ignored; MaxLive bounds simultaneously live tuples
+	// per window and sizes the per-shard stores. Adaptive rebalancing is not
+	// supported in timed mode.
+	Timed   bool
+	Span    uint64 // timed: window duration in timestamp units (required)
+	MaxLive int    // timed: upper bound on live tuples per window (required)
+	Slack   uint64 // timed: tolerated event-time disorder
+	Late    ooo.Policy
+	OnLate  func(t ooo.Tuple, lateness uint64)
 
 	Sink join.MatchSink // optional ordered result sink
 }
@@ -131,11 +146,29 @@ type Router struct {
 	lastReb int // arrival index of the last rebalance epoch
 	epochs  int // completed rebalance epochs
 	moved   int // tuples that changed shards across all epochs
+
+	// Timed-mode admission: the reorder buffer in front of routing. Nil for
+	// count windows.
+	reorder *ooo.Reorderer
 }
 
 // NewRouter builds a sharded runtime for a run of at most capacity arrivals
 // and starts one worker goroutine per shard.
 func NewRouter(cfg Config, capacity int) *Router {
+	if cfg.Timed {
+		if cfg.Span == 0 {
+			panic("shard: Span must be positive in timed mode")
+		}
+		if cfg.MaxLive <= 0 {
+			panic("shard: MaxLive must be positive in timed mode")
+		}
+		if cfg.Adaptive {
+			panic("shard: adaptive rebalancing is not supported in timed mode")
+		}
+		// MaxLive plays the window-length role everywhere a count window
+		// would be consulted: store/index sizing and the flush horizon.
+		cfg.WR, cfg.WS = cfg.MaxLive, cfg.MaxLive
+	}
 	if cfg.WR <= 0 {
 		panic("shard: WR must be positive")
 	}
@@ -186,6 +219,9 @@ func NewRouter(cfg Config, capacity int) *Router {
 		if r.pol.ForceEvery <= 0 {
 			r.reb = startRebalancer(r.stats, r.pol)
 		}
+	}
+	if cfg.Timed {
+		r.reorder = ooo.New(cfg.Slack, cfg.Late, cfg.OnLate)
 	}
 	for i := range r.pend {
 		r.pend[i].first = -1
@@ -277,6 +313,71 @@ func (r *Router) Push(a stream.Arrival) {
 	if r.cfg.Adaptive {
 		r.maybeRebalance()
 	}
+}
+
+// PushTimed admits one timed arrival to the reorder buffer (timed mode
+// only). Event times may be disordered up to the configured Slack; tuples
+// later than that follow the Late policy. Routing happens as the watermark
+// (max observed timestamp - Slack) releases tuples in timestamp order, so a
+// push may route zero or more tuples, and Close drains the remainder.
+func (r *Router) PushTimed(s uint8, key uint32, ts uint64) {
+	if r.reorder == nil {
+		panic("shard: PushTimed on a count-window router")
+	}
+	r.reorder.Push(ooo.Tuple{Stream: s, Key: key, TS: ts}, r.routeTimed)
+}
+
+// routeTimed routes one watermark-released tuple: a probe op to every shard
+// whose range intersects the band interval, then an insert op to the key's
+// owner shard. Released timestamps are non-decreasing, which is what makes
+// the per-shard stores' ring eviction and the probes' seq < tl bound exact.
+func (r *Router) routeTimed(t ooo.Tuple) {
+	if r.n >= r.cap {
+		panic("shard: Push past router capacity")
+	}
+	i := r.n
+	own := r.sid(t.Stream)
+	opp := own
+	if !r.cfg.Self {
+		opp = r.sid(opposite(t.Stream))
+	}
+
+	// Probe: tl excludes tuples admitted after this one (including, for
+	// self-joins, the tuple itself); minTS is the oldest live event time
+	// relative to this tuple (now - ts < Span, as in the serial time join).
+	tl := r.heads[opp]
+	var minTS uint64
+	if t.TS >= r.cfg.Span {
+		minTS = t.TS - r.cfg.Span + 1
+	}
+	lo, hi := r.cfg.Band.Range(t.Key)
+	s1 := r.clampShard(r.part.ShardOf(lo))
+	s2 := r.clampShard(r.part.ShardOf(hi))
+	r.probeStream[i] = t.Stream
+	r.probeSeq[i] = r.heads[own]
+	r.results[i] = make([][]uint64, s2-s1+1)
+	r.state[i].pending.Store(int32(s2 - s1 + 1))
+	for s := s1; s <= s2; s++ {
+		r.probeRouted[s]++
+		r.enqueue(s, op{
+			kind: opProbe, stream: opp, lo: lo, hi: hi,
+			te: minTS, tl: tl, idx: i, bucket: s - s1,
+		})
+	}
+
+	// Insert: the owner shard stores and indexes the tuple; minTS doubles as
+	// its eviction watermark (everything older than a span is globally
+	// expired, because admission order is timestamp order).
+	seq := r.heads[own]
+	r.heads[own]++
+	owner := r.clampShard(r.part.ShardOf(t.Key))
+	r.enqueue(owner, op{
+		kind: opInsert, stream: own, key: t.Key, seq: seq, te: minTS, ts: t.TS,
+	})
+
+	r.n++
+	r.routed.Store(int64(r.n))
+	r.flushExpired()
 }
 
 // maybeRebalance runs on the router goroutine after each Push: it honors a
@@ -431,6 +532,10 @@ func (r *Router) Close() join.Stats {
 	if r.reb != nil {
 		r.reb.stop()
 	}
+	if r.reorder != nil {
+		// End-of-stream: route every tuple still held by the reorder buffer.
+		r.reorder.Flush(r.routeTimed)
+	}
 	for s := range r.pend {
 		r.flush(s)
 	}
@@ -440,6 +545,10 @@ func (r *Router) Close() join.Stats {
 	r.wg.Wait()
 	r.propagate()
 	st := join.Stats{Tuples: r.n, Matches: r.matches, Rebalances: r.epochs, Migrated: r.moved}
+	if r.reorder != nil {
+		st.LateDropped = r.reorder.LateDropped()
+		st.MaxDisorder = r.reorder.MaxDisorder()
+	}
 	for _, e := range r.engines {
 		m, t := e.merges(r.cfg.Self)
 		st.Merges += m
@@ -510,6 +619,23 @@ func Run(arrivals []stream.Arrival, cfg Config) join.Stats {
 	start := time.Now()
 	for _, a := range arrivals {
 		r.Push(a)
+	}
+	st := r.Close()
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// RunTimed executes the sharded time-window join over a pre-materialized
+// timed arrival sequence — the sharded counterpart of join.RunSharedTime,
+// except that arrivals may carry event-time disorder up to cfg.Slack (the
+// router's reorder buffer admits them in timestamp order; tuples later than
+// the slack follow cfg.Late). Stats.Tuples counts admitted tuples.
+func RunTimed(arrivals []join.TimedArrival, cfg Config) join.Stats {
+	cfg.Timed = true
+	r := NewRouter(cfg, len(arrivals))
+	start := time.Now()
+	for _, a := range arrivals {
+		r.PushTimed(a.Stream, a.Key, a.TS)
 	}
 	st := r.Close()
 	st.Elapsed = time.Since(start)

@@ -319,6 +319,62 @@ type ArrivalSource interface {
 	Take(n int) []Arrival
 }
 
+// TimedArrival is one tuple arrival with an event timestamp, for the
+// time-based joins.
+type TimedArrival struct {
+	Stream uint8
+	Key    uint32
+	TS     uint64
+}
+
+// Timestamp assigns sorted event times to an arrival sequence: consecutive
+// gaps are drawn uniformly from [1, 2*meanGap-1] (strictly increasing, so
+// any bounded-disorder shuffle of the result has a unique timestamp-sorted
+// oracle). meanGap 0 is treated as 1 (consecutive integer timestamps).
+func Timestamp(seed int64, arr []Arrival, meanGap uint64) []TimedArrival {
+	if meanGap == 0 {
+		meanGap = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TimedArrival, len(arr))
+	ts := uint64(0)
+	for i, a := range arr {
+		ts += 1 + uint64(rng.Int63n(int64(2*meanGap-1)))
+		out[i] = TimedArrival{Stream: a.Stream, Key: a.Key, TS: ts}
+	}
+	return out
+}
+
+// ShuffleWithinSlack applies a bounded-disorder perturbation to a timed
+// arrival sequence: each tuple is ranked by ts + U[0, slack] and the
+// sequence is stably re-sorted by that rank. In the result, a tuple precedes
+// another only if its event time exceeds the other's by at most slack, so
+// the maximum observed lateness is bounded by slack — the workload the
+// out-of-order ingestion layer is calibrated against. Slack 0 returns a
+// copy. Slack must be below 2^62.
+func ShuffleWithinSlack(seed int64, arr []TimedArrival, slack uint64) []TimedArrival {
+	out := append([]TimedArrival(nil), arr...)
+	if slack == 0 {
+		return out
+	}
+	if slack >= 1<<62 {
+		panic("stream: shuffle slack must be below 2^62")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ranks := make([]uint64, len(out))
+	idx := make([]int, len(out))
+	for i := range out {
+		ranks[i] = out[i].TS + uint64(rng.Int63n(int64(slack)+1))
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	shuffled := make([]TimedArrival, len(out))
+	for i, j := range idx {
+		shuffled[i] = out[j]
+	}
+	return shuffled
+}
+
 // UniformDiff returns the band half-width `diff` that yields an expected
 // match rate sigma_s against a window of w uniform keys:
 // sigma_s = w * (2*diff+1) / KeySpace (Section 5's match-rate adjustment,

@@ -346,3 +346,72 @@ func BenchmarkGamma(b *testing.B) {
 		g.Next()
 	}
 }
+
+func TestTimestampStrictlyIncreasing(t *testing.T) {
+	arr := NewInterleaver(3, NewUniform(4), NewUniform(5), 0.5).Take(5000)
+	timed := Timestamp(7, arr, 8)
+	if len(timed) != len(arr) {
+		t.Fatalf("length %d, want %d", len(timed), len(arr))
+	}
+	for i := range timed {
+		if timed[i].Stream != arr[i].Stream || timed[i].Key != arr[i].Key {
+			t.Fatalf("tuple %d payload changed", i)
+		}
+		if i > 0 && timed[i].TS <= timed[i-1].TS {
+			t.Fatalf("ts[%d]=%d not strictly after ts[%d]=%d", i, timed[i].TS, i-1, timed[i-1].TS)
+		}
+	}
+	// Determinism.
+	again := Timestamp(7, arr, 8)
+	for i := range timed {
+		if timed[i] != again[i] {
+			t.Fatal("same seed produced different timestamps")
+		}
+	}
+}
+
+func TestShuffleWithinSlackBoundsDisorder(t *testing.T) {
+	arr := Timestamp(11, NewInterleaver(3, NewUniform(4), NewUniform(5), 0.5).Take(5000), 4)
+	const slack = 64
+	shuffled := ShuffleWithinSlack(13, arr, slack)
+	if len(shuffled) != len(arr) {
+		t.Fatalf("length %d, want %d", len(shuffled), len(arr))
+	}
+	// Max lateness (largest earlier ts minus own ts) must stay within slack,
+	// and the shuffle must actually disorder something.
+	maxSeen, maxDisorder := uint64(0), uint64(0)
+	for _, tt := range shuffled {
+		if tt.TS < maxSeen && maxSeen-tt.TS > maxDisorder {
+			maxDisorder = maxSeen - tt.TS
+		}
+		if tt.TS > maxSeen {
+			maxSeen = tt.TS
+		}
+	}
+	if maxDisorder == 0 {
+		t.Fatal("shuffle produced a sorted sequence")
+	}
+	if maxDisorder > slack {
+		t.Fatalf("disorder %d exceeds slack %d", maxDisorder, slack)
+	}
+	// Multiset preserved: same tuples, different order.
+	count := map[TimedArrival]int{}
+	for _, tt := range arr {
+		count[tt]++
+	}
+	for _, tt := range shuffled {
+		count[tt]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("tuple %+v count drifted by %d", k, c)
+		}
+	}
+	// Slack 0 is an order-preserving copy.
+	same := ShuffleWithinSlack(13, arr, 0)
+	for i := range arr {
+		if same[i] != arr[i] {
+			t.Fatal("slack 0 reordered the input")
+		}
+	}
+}

@@ -54,6 +54,9 @@ func (r *TimeRing) Count() int { return int(r.head - r.tail) }
 // Now returns the largest timestamp observed.
 func (r *TimeRing) Now() uint64 { return r.now }
 
+// NextSeq returns the sequence number the next Append will assign.
+func (r *TimeRing) NextSeq() uint64 { return r.head }
+
 // Append inserts a tuple with timestamp ts (must be >= every prior ts) and
 // invokes onExpire for every tuple that the advancing time front evicts.
 func (r *TimeRing) Append(key uint32, ts uint64, onExpire func(kv.Pair)) (ref uint32, seq uint64) {

@@ -186,6 +186,12 @@ type RunStats struct {
 	// rebalance epochs and cross-shard window migrations (zero elsewhere).
 	Rebalances     int
 	MigratedTuples int
+	// LateDropped and MaxObservedDisorder report the out-of-order ingestion
+	// layer of the time-based runtimes: tuples later than Slack that were
+	// not joined, and the largest observed event-time lateness (zero when
+	// ingestion ran in strict LateNone mode).
+	LateDropped         uint64
+	MaxObservedDisorder uint64
 }
 
 // RunParallel executes the parallel shared-index band join over a batch of

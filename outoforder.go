@@ -1,0 +1,225 @@
+package pimtree
+
+import (
+	"fmt"
+	"runtime"
+
+	"pimtree/internal/core"
+	"pimtree/internal/join"
+	"pimtree/internal/ooo"
+	"pimtree/internal/shard"
+)
+
+// LatePolicy selects how the time-based joins treat tuples that arrive later
+// than Slack allows — their event time is already below the watermark
+// (largest observed timestamp minus Slack), so admitting them as-is would
+// regress the join's clock. Any policy other than LateNone switches the
+// ingestion path into buffered out-of-order mode: arrivals are held in a
+// bounded reorder buffer and admitted in timestamp order once the watermark
+// passes them. For any input whose disorder stays within Slack, the admitted
+// sequence is exactly the stable timestamp sort of the input and no tuple is
+// late.
+type LatePolicy uint8
+
+const (
+	// LateNone keeps the strict contract: the caller guarantees
+	// timestamp-ordered input and no reorder buffering happens. This is the
+	// zero value and the pre-existing behavior of the time-based APIs.
+	LateNone LatePolicy = iota
+	// LateDrop discards tuples later than Slack (counted by LateDropped).
+	LateDrop
+	// LateEmit admits late tuples immediately with their effective event
+	// time clamped to the watermark, preserving ordered admission.
+	LateEmit
+	// LateCall hands late tuples to OnLate without joining them; they count
+	// toward LateDropped. Requires OnLate.
+	LateCall
+)
+
+// String names the policy.
+func (p LatePolicy) String() string {
+	switch p {
+	case LateNone:
+		return "none"
+	case LateDrop:
+		return "drop"
+	case LateEmit:
+		return "emit"
+	case LateCall:
+		return "call"
+	default:
+		return "unknown"
+	}
+}
+
+// oooPolicy maps the public policy onto the reorder buffer's.
+func (p LatePolicy) oooPolicy() ooo.Policy {
+	switch p {
+	case LateEmit:
+		return ooo.Emit
+	case LateCall:
+		return ooo.Call
+	default:
+		return ooo.Drop
+	}
+}
+
+// validateLate checks the out-of-order knobs shared by the three time-based
+// runtimes.
+func validateLate(p LatePolicy, slack uint64, onLate func(TimedArrival, uint64)) error {
+	switch p {
+	case LateNone:
+		if slack > 0 {
+			return fmt.Errorf("pimtree: Slack requires a LatePolicy (LateDrop, LateEmit, or LateCall)")
+		}
+	case LateDrop, LateEmit:
+		// OnLate is an optional diagnostic tap here.
+	case LateCall:
+		if onLate == nil {
+			return fmt.Errorf("pimtree: LateCall requires OnLate")
+		}
+	default:
+		return fmt.Errorf("pimtree: unknown LatePolicy %d", p)
+	}
+	return nil
+}
+
+// timedSorted reports whether the arrival sequence is timestamp-ordered.
+func timedSorted(arrivals []TimedArrival) bool {
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].TS < arrivals[i-1].TS {
+			return false
+		}
+	}
+	return true
+}
+
+// oooLateAdapter converts a public OnLate callback to the reorder buffer's.
+func oooLateAdapter(onLate func(TimedArrival, uint64)) func(ooo.Tuple, uint64) {
+	if onLate == nil {
+		return nil
+	}
+	return func(t ooo.Tuple, lateness uint64) {
+		onLate(TimedArrival{Stream: StreamID(t.Stream), Key: t.Key, TS: t.TS}, lateness)
+	}
+}
+
+// reorderTimed runs a whole arrival slice through the reorder buffer and
+// returns the admitted (timestamp-ordered) sequence plus the late/disorder
+// accounting — the batch pre-pass behind RunParallelTime's buffered mode.
+func reorderTimed(arrivals []TimedArrival, slack uint64, p LatePolicy, onLate func(TimedArrival, uint64)) (out []TimedArrival, lateDropped, maxDisorder uint64) {
+	r := ooo.New(slack, p.oooPolicy(), oooLateAdapter(onLate))
+	out = make([]TimedArrival, 0, len(arrivals))
+	emit := func(t ooo.Tuple) {
+		out = append(out, TimedArrival{Stream: StreamID(t.Stream), Key: t.Key, TS: t.TS})
+	}
+	for _, a := range arrivals {
+		r.Push(ooo.Tuple{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}, emit)
+	}
+	r.Flush(emit)
+	return out, r.LateDropped(), r.MaxDisorder()
+}
+
+// ShardedTimeOptions configures the key-range sharded time-window band join
+// — the time-based counterpart of RunSharded, with out-of-order admission at
+// the router.
+type ShardedTimeOptions struct {
+	// Shards is the number of key-range shards (default GOMAXPROCS).
+	// Ignored when Partitioner is set.
+	Shards int
+	// BatchSize is the number of routed operations a shard accumulates
+	// before its queue is flushed (default 64).
+	BatchSize int
+	Span      uint64 // window duration in timestamp units (required)
+	// MaxLive is an upper bound on simultaneously live tuples per window
+	// (required), as in ParallelTimeOptions: it sizes the per-shard stores.
+	MaxLive int
+	Self    bool
+	Diff    uint32
+	// Backend selects the per-shard index (chained backends unsupported,
+	// as in RunSharded).
+	Backend Backend
+	Index   IndexOptions
+	// Slack, LatePolicy, and OnLate configure out-of-order admission: any
+	// policy other than LateNone lets the router accept event-time disorder
+	// up to Slack (see LatePolicy). With LateNone the input must be
+	// timestamp-ordered.
+	Slack      uint64
+	LatePolicy LatePolicy
+	OnLate     func(t TimedArrival, lateness uint64)
+	// OnMatch observes matches in admission order.
+	OnMatch func(Match)
+	// Partitioner overrides the default equal-width key ranges.
+	Partitioner Partitioner
+}
+
+// RunShardedTime executes the key-range sharded time-window band join over a
+// batch of timed arrivals: the router reorders event-time disorder within
+// Slack (per LatePolicy), routes each admitted tuple's probe to every shard
+// whose range intersects [key-Diff, key+Diff] and its insert to the key's
+// owner shard, and the order-preserving merge stage re-sequences matches
+// into admission order. For any input with disorder within Slack it produces
+// the identical match multiset as pushing the timestamp-sorted input through
+// the serial TimeJoin.
+func RunShardedTime(arrivals []TimedArrival, o ShardedTimeOptions) (RunStats, error) {
+	if o.Span == 0 {
+		return RunStats{}, fmt.Errorf("pimtree: Span must be positive")
+	}
+	if o.MaxLive <= 0 {
+		return RunStats{}, fmt.Errorf("pimtree: MaxLive must be positive")
+	}
+	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
+		return RunStats{}, err
+	}
+	kind := o.Backend.kind()
+	if kind == join.IndexChainB || kind == join.IndexChainIB {
+		return RunStats{}, fmt.Errorf("pimtree: sharded runtime does not support the %v backend", o.Backend)
+	}
+	if o.LatePolicy == LateNone && !timedSorted(arrivals) {
+		return RunStats{}, fmt.Errorf("pimtree: arrivals are not timestamp-ordered; set a LatePolicy (and Slack) to enable out-of-order ingestion")
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := shard.Config{
+		Timed:     true,
+		Span:      o.Span,
+		MaxLive:   o.MaxLive,
+		Shards:    shards,
+		BatchSize: o.BatchSize,
+		Self:      o.Self,
+		Band:      join.Band{Diff: o.Diff},
+		Index:     kind,
+		IM:        core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
+		PIM: core.PIMTreeConfig{
+			MergeRatio:     o.Index.MergeRatio,
+			InsertionDepth: o.Index.InsertionDepth,
+		},
+		Part:   o.Partitioner,
+		Slack:  o.Slack,
+		Late:   o.LatePolicy.oooPolicy(),
+		OnLate: oooLateAdapter(o.OnLate),
+	}
+	if o.OnMatch != nil {
+		cb := o.OnMatch
+		cfg.Sink = func(s uint8, probe, match uint64) {
+			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+		}
+	}
+	in := make([]join.TimedArrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = join.TimedArrival{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}
+	}
+	st := shard.RunTimed(in, cfg)
+	return RunStats{
+		Tuples:              st.Tuples,
+		Matches:             st.Matches,
+		Elapsed:             st.Elapsed,
+		Mtps:                st.Mtps(),
+		Merges:              st.Merges,
+		MergeTime:           st.MergeTime,
+		LateDropped:         st.LateDropped,
+		MaxObservedDisorder: st.MaxDisorder,
+	}, nil
+}

@@ -7,19 +7,39 @@ import (
 	"pimtree/internal/core"
 	"pimtree/internal/join"
 	"pimtree/internal/kv"
+	"pimtree/internal/ooo"
 	"pimtree/internal/window"
 )
 
 // TimeJoinOptions configures an incremental time-based band join — the
 // paper's Section 2.1 notes the approach carries to time-based windows; this
-// is that extension. Tuples carry logical timestamps (any non-decreasing
-// uint64: nanoseconds, milliseconds, event time...); a tuple stays in its
-// window while now - ts < Span.
+// is that extension. Tuples carry logical timestamps (any uint64 unit:
+// nanoseconds, milliseconds, event time...); a tuple stays in its window
+// while now - ts < Span.
+//
+// With the zero-value LatePolicy (LateNone) timestamps must be
+// non-decreasing across Push calls. Setting any other LatePolicy enables
+// buffered out-of-order ingestion: arrivals are held in a reorder buffer and
+// joined in timestamp order once the watermark (largest observed timestamp
+// minus Slack) passes them, so any input whose disorder stays within Slack
+// joins exactly as its timestamp-sorted equivalent. Call Flush at
+// end-of-stream to drain the buffer.
 type TimeJoinOptions struct {
 	Span    uint64 // window duration in timestamp units (required)
 	Self    bool   // self-join: one stream, one window
 	Diff    uint32 // band half-width
 	OnMatch func(Match)
+
+	// Slack bounds the event-time disorder tolerated by the reorder buffer
+	// (in timestamp units). Meaningful only with a LatePolicy other than
+	// LateNone.
+	Slack uint64
+	// LatePolicy selects the fate of tuples later than Slack and, when not
+	// LateNone, switches Push into buffered out-of-order mode.
+	LatePolicy LatePolicy
+	// OnLate observes tuples later than Slack (required for LateCall,
+	// optional diagnostics for LateDrop/LateEmit).
+	OnLate func(t TimedArrival, lateness uint64)
 }
 
 // TimeJoin is an incremental time-window band join. Not safe for concurrent
@@ -29,6 +49,7 @@ type TimeJoin struct {
 	rings   [2]*window.TimeRing
 	idxs    [2]*btree.Tree
 	caps    [2]int
+	reorder *ooo.Reorderer // nil in strict (LateNone) mode
 	matches uint64
 	tuples  uint64
 }
@@ -37,6 +58,9 @@ type TimeJoin struct {
 func NewTimeJoin(o TimeJoinOptions) (*TimeJoin, error) {
 	if o.Span == 0 {
 		return nil, fmt.Errorf("pimtree: time window span must be positive")
+	}
+	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
+		return nil, err
 	}
 	j := &TimeJoin{opts: o}
 	j.rings[0] = window.NewTimeRing(o.Span, 1024)
@@ -50,13 +74,54 @@ func NewTimeJoin(o TimeJoinOptions) (*TimeJoin, error) {
 	}
 	j.caps[0] = j.rings[0].Capacity()
 	j.caps[1] = j.rings[1].Capacity()
+	if o.LatePolicy != LateNone {
+		j.reorder = ooo.New(o.Slack, o.LatePolicy.oooPolicy(), oooLateAdapter(o.OnLate))
+	}
 	return j, nil
 }
 
-// Push processes one tuple with timestamp ts (non-decreasing per stream; the
-// opposite stream's clock is advanced too so expiry is symmetric). It
-// returns the number of matches produced.
+// Push processes one tuple with timestamp ts and returns the number of
+// matches produced by this call.
+//
+// In strict mode (LateNone) ts must be non-decreasing per stream (the
+// opposite stream's clock is advanced too, so expiry is symmetric) and the
+// tuple joins immediately. In buffered mode the tuple enters the reorder
+// buffer; the call joins — in timestamp order — every buffered tuple the
+// advancing watermark releases, so the returned matches may belong to
+// earlier arrivals and a tuple's own matches may surface in later calls (or
+// in Flush).
 func (j *TimeJoin) Push(s StreamID, key uint32, ts uint64) int {
+	if j.reorder == nil {
+		return j.pushOrdered(s, key, ts)
+	}
+	before := j.matches
+	j.reorder.Push(ooo.Tuple{Stream: uint8(s), Key: key, TS: ts}, j.emitOrdered)
+	return int(j.matches - before)
+}
+
+// Flush drains the reorder buffer, joining every held tuple in timestamp
+// order, and returns the number of matches produced. Call it at
+// end-of-stream or on a lull; a no-op in strict mode. Flushing advances the
+// watermark past everything it released, so tuples pushed afterwards with
+// older timestamps are late and follow the LatePolicy.
+func (j *TimeJoin) Flush() int {
+	if j.reorder == nil {
+		return 0
+	}
+	before := j.matches
+	j.reorder.Flush(j.emitOrdered)
+	return int(j.matches - before)
+}
+
+// emitOrdered adapts the reorder buffer's release callback to the ordered
+// join core.
+func (j *TimeJoin) emitOrdered(t ooo.Tuple) {
+	j.pushOrdered(StreamID(t.Stream), t.Key, t.TS)
+}
+
+// pushOrdered is the ordered join core: ts must be >= every prior admitted
+// timestamp.
+func (j *TimeJoin) pushOrdered(s StreamID, key uint32, ts uint64) int {
 	own, opp := j.sid(s), j.oppID(s)
 	ownRing, oppRing := j.rings[own], j.rings[opp]
 	ownIdx, oppIdx := j.idxs[own], j.idxs[opp]
@@ -72,7 +137,9 @@ func (j *TimeJoin) Push(s StreamID, key uint32, ts uint64) int {
 	if hi < key {
 		hi = ^uint32(0)
 	}
-	probeSeq := ownRing.Now()
+	// The probing tuple's per-stream sequence number is the one Append will
+	// assign below.
+	probeSeq := ownRing.NextSeq()
 	matches := 0
 	oppIdx.Query(lo, hi, func(p kv.Pair) bool {
 		if oppRing.Live(p.Ref) {
@@ -106,11 +173,48 @@ func (j *TimeJoin) Push(s StreamID, key uint32, ts uint64) int {
 // Matches returns the total number of matches produced so far.
 func (j *TimeJoin) Matches() uint64 { return j.matches }
 
-// Tuples returns the number of tuples pushed so far.
+// Tuples returns the number of tuples joined so far (in buffered mode,
+// tuples still in the reorder buffer and late-dropped tuples are excluded).
 func (j *TimeJoin) Tuples() uint64 { return j.tuples }
 
 // WindowCount returns the live population of a stream's window.
 func (j *TimeJoin) WindowCount(s StreamID) int { return j.rings[j.sid(s)].Count() }
+
+// Pending returns the number of tuples held in the reorder buffer (zero in
+// strict mode).
+func (j *TimeJoin) Pending() int {
+	if j.reorder == nil {
+		return 0
+	}
+	return j.reorder.Pending()
+}
+
+// Watermark returns the out-of-order admission frontier (largest observed
+// timestamp minus Slack; zero in strict mode).
+func (j *TimeJoin) Watermark() uint64 {
+	if j.reorder == nil {
+		return 0
+	}
+	return j.reorder.Watermark()
+}
+
+// LateDropped returns how many tuples arrived later than Slack and were not
+// joined (LateDrop discards plus LateCall hand-offs).
+func (j *TimeJoin) LateDropped() uint64 {
+	if j.reorder == nil {
+		return 0
+	}
+	return j.reorder.LateDropped()
+}
+
+// MaxObservedDisorder returns the largest observed lateness across pushed
+// tuples (zero in strict mode, where disorder is a contract violation).
+func (j *TimeJoin) MaxObservedDisorder() uint64 {
+	if j.reorder == nil {
+		return 0
+	}
+	return j.reorder.MaxDisorder()
+}
 
 func (j *TimeJoin) sid(s StreamID) int {
 	if j.opts.Self {
@@ -145,17 +249,39 @@ type ParallelTimeOptions struct {
 	Self     bool
 	Diff     uint32
 	Index    IndexOptions // PIM-Tree tuning (merge ratio defaults to 1)
-	OnMatch  func(Match)  // observes matches in arrival order
+	OnMatch  func(Match)  // observes matches in admission order
+
+	// Slack, LatePolicy, and OnLate enable out-of-order ingestion: with a
+	// policy other than LateNone the arrivals may carry event-time disorder
+	// up to Slack — a watermark-driven reorder pass admits them in
+	// timestamp order (applying LatePolicy beyond Slack) and the parallel
+	// tasks are cut over the admitted sequence. With LateNone the input
+	// must be timestamp-ordered.
+	Slack      uint64
+	LatePolicy LatePolicy
+	OnLate     func(t TimedArrival, lateness uint64)
 }
 
-// RunParallelTime executes the parallel shared-index time-window join over
-// timestamp-ordered arrivals.
+// RunParallelTime executes the parallel shared-index time-window join.
+// Arrivals must be timestamp-ordered unless a LatePolicy enables
+// out-of-order ingestion.
 func RunParallelTime(arrivals []TimedArrival, o ParallelTimeOptions) (RunStats, error) {
 	if o.Span == 0 {
 		return RunStats{}, fmt.Errorf("pimtree: Span must be positive")
 	}
 	if o.MaxLive <= 0 {
 		return RunStats{}, fmt.Errorf("pimtree: MaxLive must be positive")
+	}
+	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
+		return RunStats{}, err
+	}
+	var lateDropped, maxDisorder uint64
+	if o.LatePolicy != LateNone {
+		// Watermark-driven admission: tasks are cut over the reordered
+		// sequence, so workers never observe a regressed timestamp.
+		arrivals, lateDropped, maxDisorder = reorderTimed(arrivals, o.Slack, o.LatePolicy, o.OnLate)
+	} else if !timedSorted(arrivals) {
+		return RunStats{}, fmt.Errorf("pimtree: arrivals are not timestamp-ordered; set a LatePolicy (and Slack) to enable out-of-order ingestion")
 	}
 	mergeRatio := o.Index.MergeRatio
 	if mergeRatio == 0 {
@@ -185,11 +311,13 @@ func RunParallelTime(arrivals []TimedArrival, o ParallelTimeOptions) (RunStats, 
 	}
 	st := join.RunSharedTime(in, cfg)
 	return RunStats{
-		Tuples:    st.Tuples,
-		Matches:   st.Matches,
-		Elapsed:   st.Elapsed,
-		Mtps:      st.Mtps(),
-		Merges:    st.Merges,
-		MergeTime: st.MergeTime,
+		Tuples:              st.Tuples,
+		Matches:             st.Matches,
+		Elapsed:             st.Elapsed,
+		Mtps:                st.Mtps(),
+		Merges:              st.Merges,
+		MergeTime:           st.MergeTime,
+		LateDropped:         lateDropped,
+		MaxObservedDisorder: maxDisorder,
 	}, nil
 }

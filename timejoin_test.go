@@ -111,3 +111,128 @@ func TestRunParallelTimeValidation(t *testing.T) {
 		t.Fatal("zero MaxLive accepted")
 	}
 }
+
+// bruteTimeMatches computes the expected match multiset of a
+// timestamp-ordered sequence by brute force, with per-stream sequence
+// numbering — the oracle for the ring-growth regression tests below.
+func bruteTimeMatches(arr []TimedArrival, span uint64, diff uint32, self bool) map[Match]int {
+	out := map[Match]int{}
+	type tup struct {
+		stream StreamID
+		key    uint32
+		ts     uint64
+		seq    uint64
+	}
+	var hist []tup
+	var seqs [2]uint64
+	sid := func(s StreamID) int {
+		if self {
+			return 0
+		}
+		return int(s)
+	}
+	band := func(a, b uint32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return b-a <= diff
+	}
+	for _, a := range arr {
+		own := sid(a.Stream)
+		seq := seqs[own]
+		seqs[own]++
+		for _, h := range hist {
+			if !self && sid(h.stream) == own {
+				continue
+			}
+			if a.TS-h.ts >= span || !band(a.Key, h.key) {
+				continue
+			}
+			out[Match{ProbeStream: a.Stream, ProbeSeq: seq, MatchSeq: h.seq}]++
+		}
+		hist = append(hist, tup{stream: a.Stream, key: a.Key, ts: a.TS, seq: seq})
+	}
+	return out
+}
+
+// Regression for the ring-growth reindex path: force mid-stream ring growth
+// (live population past the initial 1024-slot capacity, twice) with OnMatch
+// enabled, keep expiry active, and pin the full (ProbeStream, ProbeSeq,
+// MatchSeq) multiset against the brute-force oracle. This catches both ref
+// drift after the seq&mask re-homing and probe-sequence drift (ProbeSeq was
+// once reported as the ring clock rather than the tuple's sequence number).
+func TestTimeJoinGrowthMatchMultiset(t *testing.T) {
+	const n = 6000
+	const span = 3000 // live population grows past 1024, then 2048
+	const diff = 2
+	arr := make([]TimedArrival, n)
+	u := UniformSource(77)
+	for i := range arr {
+		s := R
+		if i%3 == 1 {
+			s = S
+		}
+		arr[i] = TimedArrival{Stream: s, Key: u.Next() % 256, TS: uint64(i)}
+	}
+	want := bruteTimeMatches(arr, span, diff, false)
+
+	got := map[Match]int{}
+	j, err := NewTimeJoin(TimeJoinOptions{
+		Span: span, Diff: diff,
+		OnMatch: func(m Match) { got[m]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		j.Push(a.Stream, a.Key, a.TS)
+	}
+	if j.WindowCount(R) <= 1024 {
+		t.Fatalf("window count %d never outgrew the initial ring", j.WindowCount(R))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct matches, oracle has %d", len(got), len(want))
+	}
+	for m, c := range want {
+		if got[m] != c {
+			t.Fatalf("match %+v count %d, oracle %d", m, got[m], c)
+		}
+	}
+}
+
+// The same pin for self-joins, whose two ring aliases share one capacity
+// bookkeeping slot.
+func TestTimeJoinGrowthMatchMultisetSelf(t *testing.T) {
+	const n = 5000
+	const span = 2600
+	const diff = 1
+	arr := make([]TimedArrival, n)
+	u := UniformSource(79)
+	for i := range arr {
+		arr[i] = TimedArrival{Stream: R, Key: u.Next() % 200, TS: uint64(i)}
+	}
+	want := bruteTimeMatches(arr, span, diff, true)
+
+	got := map[Match]int{}
+	j, err := NewTimeJoin(TimeJoinOptions{
+		Span: span, Self: true, Diff: diff,
+		OnMatch: func(m Match) { got[m]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		j.Push(a.Stream, a.Key, a.TS)
+	}
+	if j.WindowCount(R) <= 1024 {
+		t.Fatalf("window count %d never outgrew the initial ring", j.WindowCount(R))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct matches, oracle has %d", len(got), len(want))
+	}
+	for m, c := range want {
+		if got[m] != c {
+			t.Fatalf("match %+v count %d, oracle %d", m, got[m], c)
+		}
+	}
+}

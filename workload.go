@@ -73,6 +73,42 @@ func SelfArrivals(src KeySource, n int) []Arrival {
 	return out
 }
 
+// TimestampArrivals assigns sorted event times to an arrival sequence:
+// consecutive gaps are drawn uniformly from [1, 2*meanGap-1] (strictly
+// increasing timestamps), turning any count-based workload into input for
+// the time-based joins.
+func TimestampArrivals(seed int64, arrivals []Arrival, meanGap uint64) []TimedArrival {
+	in := make([]stream.Arrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = stream.Arrival{Stream: uint8(a.Stream), Key: a.Key}
+	}
+	timed := stream.Timestamp(seed, in, meanGap)
+	out := make([]TimedArrival, len(timed))
+	for i, t := range timed {
+		out[i] = TimedArrival{Stream: StreamID(t.Stream), Key: t.Key, TS: t.TS}
+	}
+	return out
+}
+
+// ShuffleWithinSlack applies a bounded-disorder perturbation to a timed
+// arrival sequence: tuples are stably re-sorted by ts + U[0, slack], so the
+// result's maximum event-time lateness is bounded by slack. It is the
+// workload generator for the out-of-order ingestion layer: any time-based
+// runtime configured with at least that Slack joins the shuffled sequence
+// exactly as the original.
+func ShuffleWithinSlack(seed int64, arrivals []TimedArrival, slack uint64) []TimedArrival {
+	in := make([]stream.TimedArrival, len(arrivals))
+	for i, a := range arrivals {
+		in[i] = stream.TimedArrival{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}
+	}
+	shuffled := stream.ShuffleWithinSlack(seed, in, slack)
+	out := make([]TimedArrival, len(shuffled))
+	for i, t := range shuffled {
+		out[i] = TimedArrival{Stream: StreamID(t.Stream), Key: t.Key, TS: t.TS}
+	}
+	return out
+}
+
 // DiffForMatchRate returns the band half-width that yields an expected match
 // rate of sigmaS against a window of w uniform keys (closed form).
 func DiffForMatchRate(w int, sigmaS float64) uint32 {
