@@ -1,18 +1,30 @@
-// Command pimjoin runs an ad-hoc sliding-window band join over synthetic
-// streams and prints throughput, match counts, and (for parallel runs)
-// latency — a command-line harness around the public pimtree API.
+// Command pimjoin runs a sliding-window band join over synthetic streams or
+// live stdin input and prints throughput, match counts, and (for parallel
+// runs) latency — a command-line harness around the public pimtree API.
 //
-// Examples:
+// Batch examples (synthetic workloads, whole-run statistics):
 //
 //	pimjoin -n 1000000 -w 65536 -sigma 2                       # serial PIM-Tree join
 //	pimjoin -n 1000000 -w 65536 -backend btree                 # serial B+-Tree baseline
 //	pimjoin -n 1000000 -w 65536 -parallel -threads 4           # shared-index parallel join
 //	pimjoin -n 500000 -w 16384 -self -dist gaussian            # skewed self-join
+//
+// Streaming mode (-stdin) turns pimjoin into a long-lived engine session:
+// arrivals are read incrementally from stdin (`stream,key` lines, or
+// `stream,key,ts` with -mode sharded-time), joined as they arrive through
+// pimtree.Open, and matches stream back out as `probeStream,probeSeq,matchSeq`
+// lines (-emit). EOF drains the engine and prints final statistics:
+//
+//	pimtrace -n 100000 | pimjoin -stdin -w 4096 -emit
+//	tail -f arrivals.csv | pimjoin -stdin -w 65536 -mode sharded -stats-every 100000
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,31 +33,120 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimjoin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n        = flag.Int("n", 1_000_000, "tuples to process")
-		w        = flag.Int("w", 1<<16, "window length (both streams)")
-		ws       = flag.Int("ws", 0, "stream-S window length (0 = same as -w)")
-		sigma    = flag.Float64("sigma", 2, "target match rate (sets the band width)")
-		diffFlag = flag.Uint("diff", 0, "explicit band half-width (overrides -sigma)")
-		backend  = flag.String("backend", "pim", "index backend: pim | im | btree | bwtree | bchain | ibchain")
-		self     = flag.Bool("self", false, "self-join instead of two-way")
-		dist     = flag.String("dist", "uniform", "key distribution: uniform | gaussian | gamma33 | gamma15")
-		parallel = flag.Bool("parallel", false, "use the multicore shared-index join")
-		threads  = flag.Int("threads", 0, "worker threads for -parallel (0 = GOMAXPROCS)")
-		task     = flag.Int("task", 8, "task size for -parallel")
-		blocking = flag.Bool("blocking-merge", false, "use blocking merges in -parallel")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		trace    = flag.String("trace", "", "replay a CSV trace (see pimtrace) instead of generating tuples")
+		n        = fs.Int("n", 1_000_000, "tuples to process (batch mode)")
+		w        = fs.Int("w", 1<<16, "window length (both streams)")
+		ws       = fs.Int("ws", 0, "stream-S window length (0 = same as -w)")
+		sigma    = fs.Float64("sigma", 2, "target match rate (sets the band width)")
+		diffFlag = fs.Uint("diff", 0, "explicit band half-width (overrides -sigma)")
+		backend  = fs.String("backend", "pim", "index backend: pim | im | btree | bwtree | bchain | ibchain")
+		self     = fs.Bool("self", false, "self-join instead of two-way")
+		dist     = fs.String("dist", "uniform", "key distribution: uniform | gaussian | gamma33 | gamma15")
+		parallel = fs.Bool("parallel", false, "use the multicore shared-index join (batch mode)")
+		threads  = fs.Int("threads", 0, "worker threads for -parallel (0 = GOMAXPROCS)")
+		task     = fs.Int("task", 8, "task size for -parallel")
+		blocking = fs.Bool("blocking-merge", false, "use blocking merges in -parallel")
+		seed     = fs.Int64("seed", 42, "workload seed")
+		trace    = fs.String("trace", "", "replay a CSV trace (see pimtrace) instead of generating tuples")
+
+		stdinMode  = fs.Bool("stdin", false, "streaming mode: read stream,key[,ts] lines from stdin through a long-lived engine")
+		mode       = fs.String("mode", "auto", "engine mode for -stdin: auto | serial | shared | sharded | sharded-time")
+		emit       = fs.Bool("emit", false, "streaming mode: write matches to stdout as probeStream,probeSeq,matchSeq lines")
+		statsEvery = fs.Int("stats-every", 0, "streaming mode: print a live Stats snapshot to stderr every N tuples")
+		span       = fs.Uint64("span", 0, "time-window duration for -mode sharded-time")
+		maxLive    = fs.Int("maxlive", 0, "live-tuple bound per window for -mode sharded-time")
+		slack      = fs.Uint64("slack", 0, "tolerated event-time disorder for -mode sharded-time (enables LateDrop)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *ws == 0 {
 		*ws = *w
 	}
+	be, ok := backendByName(*backend)
+	if !ok {
+		fmt.Fprintf(stderr, "pimjoin: unknown backend %q\n", *backend)
+		return 2
+	}
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if !*stdinMode {
+		// The mirror of the -stdin guard below: streaming-only flags on the
+		// batch path would be silently ignored.
+		for _, streamOnly := range []string{"mode", "emit", "stats-every", "span", "maxlive", "slack"} {
+			if setFlags[streamOnly] {
+				fmt.Fprintf(stderr, "pimjoin: -%s is a streaming-mode flag and has no effect without -stdin\n", streamOnly)
+				return 2
+			}
+		}
+	}
+
+	if *stdinMode {
+		m, ok := modeByName(*mode)
+		if !ok {
+			fmt.Fprintf(stderr, "pimjoin: unknown mode %q\n", *mode)
+			return 2
+		}
+		if (*span > 0 || *maxLive > 0 || *slack > 0) &&
+			m != pimtree.ModeShardedTime && !(m == pimtree.ModeAuto && *span > 0) {
+			fmt.Fprintln(stderr, "pimjoin: -span/-maxlive/-slack require -mode sharded-time (or -mode auto with -span)")
+			return 2
+		}
+		// Batch-only flags alongside -stdin would be silently ignored —
+		// reject them so a user who thinks they replayed a trace (or chose
+		// the batch parallel driver) finds out immediately.
+		for _, batchOnly := range []string{"trace", "parallel", "n", "dist", "seed"} {
+			if setFlags[batchOnly] {
+				fmt.Fprintf(stderr, "pimjoin: -%s is a batch-mode flag and has no effect with -stdin\n", batchOnly)
+				return 2
+			}
+		}
+		cfg := pimtree.Config{
+			Mode:    m,
+			WindowR: *w, WindowS: *ws,
+			Self:          *self,
+			Diff:          uint32(*diffFlag),
+			Backend:       be,
+			Threads:       *threads,
+			BlockingMerge: *blocking,
+			Span:          *span,
+			MaxLive:       *maxLive,
+			Slack:         *slack,
+			// Without -emit nothing consumes individual matches; keep the
+			// runtimes on their count-only fast path.
+			DiscardMatches: !*emit,
+		}
+		// -task has a non-zero default; passing it through unconditionally
+		// would read as a shared-mode knob and steer ModeAuto away from the
+		// documented multicore default (sharded). Only forward it when the
+		// user actually asked for it (or pinned shared mode).
+		if setFlags["task"] || m == pimtree.ModeShared {
+			cfg.TaskSize = *task
+		}
+		if cfg.Diff == 0 {
+			cfg.Diff = pimtree.DiffForMatchRate(*w, *sigma)
+		}
+		if cfg.Slack > 0 {
+			cfg.LatePolicy = pimtree.LateDrop
+		}
+		if err := runStream(cfg, stdin, stdout, stderr, *emit, *statsEvery); err != nil {
+			fmt.Fprintln(stderr, "pimjoin:", err)
+			return 1
+		}
+		return 0
+	}
+
 	mkSource := sourceFactory(*dist)
 	if mkSource == nil {
-		fmt.Fprintf(os.Stderr, "pimjoin: unknown distribution %q\n", *dist)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "pimjoin: unknown distribution %q\n", *dist)
+		return 2
 	}
 
 	diff := uint32(*diffFlag)
@@ -61,14 +162,14 @@ func main() {
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimjoin:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pimjoin:", err)
+			return 1
 		}
 		arrivals, err = pimtree.ReadArrivalsCSV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimjoin:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pimjoin:", err)
+			return 1
 		}
 		*n = len(arrivals)
 	} else if *self {
@@ -77,39 +178,34 @@ func main() {
 		arrivals = pimtree.Interleave(*seed, mkSource(*seed+1), mkSource(*seed+2), 0.5, *n)
 	}
 
-	fmt.Printf("pimjoin: n=%d wR=%d wS=%d diff=%d backend=%s dist=%s self=%v parallel=%v\n",
+	fmt.Fprintf(stdout, "pimjoin: n=%d wR=%d wS=%d diff=%d backend=%s dist=%s self=%v parallel=%v\n",
 		*n, *w, *ws, diff, *backend, *dist, *self, *parallel)
 
 	if *parallel {
 		st, err := pimtree.RunParallel(arrivals, pimtree.ParallelOptions{
 			Threads: *threads, TaskSize: *task,
 			WindowR: *w, WindowS: *ws, Self: *self, Diff: diff,
-			UseBwTree:     strings.EqualFold(*backend, "bwtree"),
+			Backend:       be,
 			BlockingMerge: *blocking,
 			RecordLatency: true,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimjoin:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pimjoin:", err)
+			return 1
 		}
-		fmt.Printf("  throughput: %.3f Mtps  (%d tuples in %v)\n", st.Mtps, st.Tuples, st.Elapsed.Round(time.Millisecond))
-		fmt.Printf("  matches:    %d (%.3f per tuple)\n", st.Matches, float64(st.Matches)/float64(st.Tuples))
-		fmt.Printf("  merges:     %d (%v total)\n", st.Merges, st.MergeTime.Round(time.Microsecond))
-		fmt.Printf("  latency:    mean %.1f µs, p99 %.1f µs\n", st.MeanMicros, st.P99Micros)
-		return
+		fmt.Fprintf(stdout, "  throughput: %.3f Mtps  (%d tuples in %v)\n", st.Mtps, st.Tuples, st.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  matches:    %d (%.3f per tuple)\n", st.Matches, float64(st.Matches)/float64(st.Tuples))
+		fmt.Fprintf(stdout, "  merges:     %d (%v total)\n", st.Merges, st.MergeTime.Round(time.Microsecond))
+		fmt.Fprintf(stdout, "  latency:    mean %.1f µs, p99 %.1f µs\n", st.MeanMicros, st.P99Micros)
+		return 0
 	}
 
-	be, ok := backendByName(*backend)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pimjoin: unknown backend %q\n", *backend)
-		os.Exit(2)
-	}
 	j, err := pimtree.NewJoin(pimtree.JoinOptions{
 		WindowR: *w, WindowS: *ws, Self: *self, Diff: diff, Backend: be,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimjoin:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "pimjoin:", err)
+		return 1
 	}
 	start := time.Now()
 	for _, a := range arrivals {
@@ -117,10 +213,142 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	merges, mergeTime := j.Merges()
-	fmt.Printf("  throughput: %.3f Mtps  (%d tuples in %v)\n",
+	fmt.Fprintf(stdout, "  throughput: %.3f Mtps  (%d tuples in %v)\n",
 		float64(*n)/elapsed.Seconds()/1e6, *n, elapsed.Round(time.Millisecond))
-	fmt.Printf("  matches:    %d (%.3f per tuple)\n", j.Matches(), float64(j.Matches())/float64(*n))
-	fmt.Printf("  merges:     %d (%v total)\n", merges, mergeTime.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "  matches:    %d (%.3f per tuple)\n", j.Matches(), float64(j.Matches())/float64(*n))
+	fmt.Fprintf(stdout, "  merges:     %d (%v total)\n", merges, mergeTime.Round(time.Microsecond))
+	return 0
+}
+
+// runStream is the streaming session: one long-lived engine fed line by line
+// from in, matches streamed to out while the session is live, final
+// statistics on EOF. This is the zero-batching ingestion path — each line is
+// pushed as it is read.
+func runStream(cfg pimtree.Config, in io.Reader, out, errw io.Writer, emit bool, statsEvery int) error {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		// Error paths must still tear the session down: worker goroutines
+		// and the emit consumer (unblocked by the pull queue closing)
+		// would otherwise outlive the call.
+		if !closed {
+			e.Close(context.Background())
+		}
+	}()
+	timed := e.Mode() == pimtree.ModeShardedTime
+
+	// Pull side: consume the match iterator concurrently so engine
+	// propagation never waits on stdout.
+	done := make(chan error, 1)
+	if emit {
+		matches := e.Matches() // armed before the first push
+		go func() {
+			bw := bufio.NewWriter(out)
+			for m := range matches {
+				tag := "R"
+				if m.ProbeStream == pimtree.S {
+					tag = "S"
+				}
+				if _, err := fmt.Fprintf(bw, "%s,%d,%d\n", tag, m.ProbeSeq, m.MatchSeq); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- bw.Flush()
+		}()
+	} else {
+		close(done)
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo, pushed := 0, 0
+	for sc.Scan() {
+		if emit {
+			// A dead match writer (broken pipe downstream) must stop the
+			// ingest loop: nothing consumes the pull queue anymore, so
+			// joining an endless input would grow it without bound.
+			select {
+			case emitErr := <-done:
+				if emitErr != nil {
+					return fmt.Errorf("match output: %w", emitErr)
+				}
+			default:
+			}
+		}
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, key, ts, err := parseLine(line, timed)
+		if err != nil {
+			return fmt.Errorf("stdin line %d: %w", lineNo, err)
+		}
+		if timed {
+			err = e.PushTimed(s, key, ts)
+		} else {
+			err = e.Push(s, key)
+		}
+		if err != nil {
+			return fmt.Errorf("stdin line %d: %w", lineNo, err)
+		}
+		pushed++
+		if statsEvery > 0 && pushed%statsEvery == 0 {
+			st := e.Stats()
+			fmt.Fprintf(errw, "pimjoin: %d tuples, %d matches, %.3f Mtps\n", st.Tuples, st.Matches, st.Mtps)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stdin read: %w", err)
+	}
+	closed = true
+	st, err := e.Close(context.Background())
+	if err != nil {
+		return err
+	}
+	if emitErr := <-done; emitErr != nil {
+		return emitErr
+	}
+	fmt.Fprintf(errw, "pimjoin: mode=%s tuples=%d matches=%d elapsed=%v (%.3f Mtps)\n",
+		e.Mode(), st.Tuples, st.Matches, st.Elapsed.Round(time.Millisecond), st.Mtps)
+	if st.LateDropped > 0 || st.MaxObservedDisorder > 0 {
+		fmt.Fprintf(errw, "pimjoin: late=%d max-disorder=%d\n", st.LateDropped, st.MaxObservedDisorder)
+	}
+	return nil
+}
+
+// parseLine parses one stdin line via the shared trace grammar
+// (pimtree.ParseArrival); timed mode additionally requires the ts field.
+func parseLine(line string, timed bool) (pimtree.StreamID, uint32, uint64, error) {
+	a, hasTS, err := pimtree.ParseArrival(line)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if timed && !hasTS {
+		return 0, 0, 0, fmt.Errorf("timed mode needs `stream,key,ts`, got %q", line)
+	}
+	return a.Stream, a.Key, a.TS, nil
+}
+
+func modeByName(name string) (pimtree.Mode, bool) {
+	switch strings.ToLower(name) {
+	case "auto", "":
+		return pimtree.ModeAuto, true
+	case "serial":
+		return pimtree.ModeSerial, true
+	case "shared":
+		return pimtree.ModeShared, true
+	case "sharded":
+		return pimtree.ModeSharded, true
+	case "sharded-time", "shardedtime", "time":
+		return pimtree.ModeShardedTime, true
+	default:
+		return pimtree.ModeAuto, false
+	}
 }
 
 func sourceFactory(dist string) func(int64) pimtree.KeySource {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"pimtree"
@@ -22,6 +25,104 @@ func TestBackendByName(t *testing.T) {
 	}
 	if _, ok := backendByName("nope"); ok {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestModeByName(t *testing.T) {
+	cases := map[string]pimtree.Mode{
+		"auto": pimtree.ModeAuto, "serial": pimtree.ModeSerial,
+		"shared": pimtree.ModeShared, "sharded": pimtree.ModeSharded,
+		"sharded-time": pimtree.ModeShardedTime, "time": pimtree.ModeShardedTime,
+	}
+	for name, want := range cases {
+		got, ok := modeByName(name)
+		if !ok || got != want {
+			t.Fatalf("modeByName(%q) = %v,%v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := modeByName("nope"); ok {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	s, key, ts, err := parseLine("S, 42, 99", true)
+	if err != nil || s != pimtree.S || key != 42 || ts != 99 {
+		t.Fatalf("parseLine = %v %d %d %v", s, key, ts, err)
+	}
+	if _, _, _, err := parseLine("R,7", true); err == nil {
+		t.Fatal("timed mode accepted a line without ts")
+	}
+	for _, bad := range []string{"R", "X,5", "R,notakey", "R,5,notats"} {
+		if _, _, _, err := parseLine(bad, false); err == nil && bad != "R,5,notats" {
+			t.Fatalf("parseLine(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunStream drives the stdin streaming session end to end and checks the
+// emitted match lines against the serial oracle.
+func TestRunStream(t *testing.T) {
+	const w = 64
+	arrivals := pimtree.Interleave(3, pimtree.UniformSource(4), pimtree.UniformSource(5), 0.5, 4000)
+	diff := pimtree.DiffForMatchRate(w, 2)
+
+	oracle, err := pimtree.NewJoin(pimtree.JoinOptions{WindowR: w, WindowS: w, Diff: diff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		oracle.Push(a.Stream, a.Key)
+	}
+
+	var in bytes.Buffer
+	if err := pimtree.WriteArrivalsCSV(&in, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	cfg := pimtree.Config{Mode: pimtree.ModeSharded, WindowR: w, WindowS: w, Diff: diff, Shards: 2}
+	if err := runStream(cfg, &in, &out, &errw, true, 1000); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if out.Len() == 0 {
+		lines = nil
+	}
+	if uint64(len(lines)) != oracle.Matches() {
+		t.Fatalf("emitted %d match lines, oracle has %d", len(lines), oracle.Matches())
+	}
+	if !strings.Contains(errw.String(), "matches=") {
+		t.Fatalf("missing final stats on stderr: %q", errw.String())
+	}
+	if !strings.Contains(errw.String(), "Mtps") {
+		t.Fatalf("missing live stats lines: %q", errw.String())
+	}
+}
+
+// TestRunStreamTimed covers the sharded-time stdin path with out-of-order
+// input within the configured slack.
+func TestRunStreamTimed(t *testing.T) {
+	sorted := pimtree.TimestampArrivals(6,
+		pimtree.Interleave(7, pimtree.UniformSource(8), pimtree.UniformSource(9), 0.5, 2000), 3)
+	shuffled := pimtree.ShuffleWithinSlack(10, sorted, 64)
+	var in bytes.Buffer
+	for _, a := range shuffled {
+		tag := "R"
+		if a.Stream == pimtree.S {
+			tag = "S"
+		}
+		fmt.Fprintf(&in, "%s,%d,%d\n", tag, a.Key, a.TS)
+	}
+	var out, errw bytes.Buffer
+	cfg := pimtree.Config{
+		Mode: pimtree.ModeShardedTime, Span: 1 << 10, MaxLive: 1 << 9,
+		Diff: 1 << 8, Shards: 2, Slack: 64, LatePolicy: pimtree.LateDrop,
+	}
+	if err := runStream(cfg, &in, &out, &errw, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "mode=sharded-time") {
+		t.Fatalf("missing final stats: %q", errw.String())
 	}
 }
 

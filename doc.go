@@ -3,49 +3,72 @@
 // built on it, reproducing "Parallel Index-based Stream Join on a Multicore
 // CPU" (Shahvarani & Jacobsen, SIGMOD 2020).
 //
-// The package offers four levels of API:
+// # The Engine API
+//
+// The primary entry point is Open: it validates one Config and returns a
+// long-lived streaming *Engine over the selected execution Mode —
+// single-threaded serial (ModeSerial), the paper's parallel shared-index
+// join (ModeShared), the key-range sharded runtime (ModeSharded), or the
+// sharded time-window runtime with out-of-order admission (ModeShardedTime).
+// ModeAuto picks a mode from the rest of the configuration.
+//
+// An Engine is a session, not a batch call: Push/PushTimed/PushBatch feed
+// tuples as they arrive, forever. Matches stream out on two sides — the
+// push side (Config.OnMatch, invoked in arrival order during ordered
+// propagation) and the pull side (Engine.Matches, a range-over-func
+// iterator). Stats returns live snapshots mid-stream; Drain flushes pending
+// shard batches, reorder buffers, and in-flight rebalance epochs to a
+// deterministic quiescent point; Close tears the session down and returns
+// the final statistics. Both Drain and Close take a context.Context, so a
+// stuck or slow shutdown is cancellable. The parallel modes bound their
+// in-flight tuples by Config.QueueCapacity and block Push when the ordered
+// propagation frontier falls that far behind — backpressure, not unbounded
+// queueing.
+//
+// Every mode produces the identical match multiset as the serial join on
+// the same input, regardless of push granularity, thread count, shard
+// count, or scheduling — the engine-conformance test suite pins this.
+//
+// # Compatibility wrappers and other levels
+//
+// The historical batch drivers are thin wrappers over Engine and remain the
+// convenient form for one-shot runs:
+//
+//   - Join (NewJoin): the incremental single-threaded band join. Push
+//     tuples, receive matches synchronously in arrival order. Backends
+//     cover every index the paper evaluates (PIM-Tree, IM-Tree, B+-Tree,
+//     Bw-Tree, chained index).
+//
+//   - RunParallel: the paper's multi-threaded shared-index join — a task
+//     queue feeding any number of workers, order-preserving result
+//     propagation, and non-blocking index merges (PIM-Tree or Bw-Tree;
+//     anything else fails with ErrUnsupportedBackend).
+//
+//   - RunSharded: the key-range sharded parallel join. The key domain is
+//     split into K contiguous ranges, each owned by an independent
+//     single-writer join instance fed through batched per-shard queues; a
+//     band probe fans out to every shard whose range intersects
+//     [key-Diff, key+Diff], and an order-preserving merge stage
+//     re-sequences matches into global arrival order. The Partitioner hook
+//     (RangePartition, QuantilePartition, or a custom implementation)
+//     controls the shard boundaries; with Adaptive the runtime rebalances
+//     itself online by migrating live window contents between shards.
 //
 //   - Index: the PIM-Tree as a standalone concurrent sliding-window index —
 //     a two-stage structure whose immutable component serves lock-free
 //     lookups while inserts go to range-partitioned B+-Trees, with periodic
 //     delta merges replacing per-tuple deletes.
 //
-//   - Join: an incremental single-threaded band join over two sliding
-//     windows (or one, for self-joins). Push tuples, receive matches
-//     synchronously in arrival order. Backends cover every index the paper
-//     evaluates (PIM-Tree, IM-Tree, B+-Tree, Bw-Tree, chained index).
-//
-//   - RunParallel: the paper's multi-threaded shared-index join — a task
-//     queue feeding any number of workers, order-preserving result
-//     propagation, and non-blocking index merges.
-//
-//   - RunSharded: the key-range sharded parallel join. The key domain is
-//     split into K contiguous ranges, each owned by an independent
-//     single-writer join instance fed through batched per-shard queues; a
-//     band probe fans out to every shard whose range intersects
-//     [key-Diff, key+Diff] (at most two adjacent shards when Diff is below
-//     the shard width), and an order-preserving merge stage re-sequences
-//     matches into global arrival order. Sharding trades routing work for
-//     the complete absence of index-level synchronization, and produces the
-//     identical match multiset as the single-threaded Join. The Partitioner
-//     hook (RangePartition, QuantilePartition, or a custom implementation)
-//     controls the shard boundaries, which is how skewed key distributions
-//     stay balanced. With ShardedOptions.Adaptive the runtime rebalances
-//     itself online: per-shard load accounting feeds a monitor, and when
-//     imbalance crosses RebalancePolicy.MaxRatio the router drains the
-//     shards, recomputes boundaries from a recent-key sample, and migrates
-//     live window contents — without changing the match multiset.
-//
 // The time-based variants — TimeJoin (serial), RunParallelTime (shared
-// index), and RunShardedTime (sharded) — realize the paper's Section 2.1
-// time-window extension and add out-of-order event-time ingestion: setting
-// a LatePolicy (plus a Slack) admits disordered arrivals through a
-// watermark-driven reorder buffer, joining any input whose disorder stays
-// within Slack exactly like its timestamp-sorted equivalent. Tuples later
-// than the slack are dropped (LateDrop), admitted clamped to the watermark
-// (LateEmit), or handed to an OnLate side channel (LateCall);
-// RunStats.LateDropped and RunStats.MaxObservedDisorder report what the
-// stream actually did.
+// index), and RunShardedTime (sharded, a wrapper over ModeShardedTime) —
+// realize the paper's Section 2.1 time-window extension and add
+// out-of-order event-time ingestion: setting a LatePolicy (plus a Slack)
+// admits disordered arrivals through a watermark-driven reorder buffer,
+// joining any input whose disorder stays within Slack exactly like its
+// timestamp-sorted equivalent. Tuples later than the slack are dropped
+// (LateDrop), admitted clamped to the watermark (LateEmit), or handed to an
+// OnLate side channel (LateCall); RunStats.LateDropped and
+// RunStats.MaxObservedDisorder report what the stream actually did.
 //
 // Workload helpers (UniformSource, GaussianSource, GammaSource,
 // DriftingGaussianSource, StepSkewSource, DriftingHotspotSource,
@@ -57,7 +80,8 @@
 //
 // The repository also contains the full evaluation harness: cmd/pimbench
 // regenerates every figure of the paper's evaluation section plus the
-// repository's own ablations, including the sharded-vs-shared runtime
-// comparison (see docs/ARCHITECTURE.md for the paper-to-package map), and
-// cmd/pimjoin runs ad-hoc joins from the command line.
+// repository's own ablations, including the engine-overhead and
+// sharded-vs-shared runtime comparisons (see docs/ARCHITECTURE.md for the
+// paper-to-package map), and cmd/pimjoin runs ad-hoc joins — batch or
+// stdin-streamed through a live Engine — from the command line.
 package pimtree

@@ -1,10 +1,96 @@
 package pimtree_test
 
 import (
+	"context"
 	"fmt"
 
 	"pimtree"
 )
+
+// ExampleOpen demonstrates the streaming Engine API: open a long-lived
+// session, push tuples incrementally, snapshot progress mid-stream, and
+// close for the final statistics. ModeSerial keeps the example synchronous;
+// the same lifecycle drives the parallel modes.
+func ExampleOpen() {
+	e, err := pimtree.Open(pimtree.Config{
+		Mode:    pimtree.ModeSerial,
+		WindowR: 4,
+		WindowS: 4,
+		Diff:    2, // |R.x - S.x| <= 2
+		Backend: pimtree.PIMTree,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Push(pimtree.R, 10)
+	e.Push(pimtree.S, 11) // pairs with R's 10
+	e.Push(pimtree.S, 40)
+	fmt.Println("mid-stream matches:", e.Stats().Matches)
+	st, _ := e.Close(context.Background())
+	fmt.Println("tuples:", st.Tuples, "matches:", st.Matches)
+	// Output:
+	// mid-stream matches: 1
+	// tuples: 3 matches: 1
+}
+
+// ExampleEngine_PushBatch feeds a whole batch through a sharded engine
+// session and drains it deterministically before reading the snapshot.
+func ExampleEngine_PushBatch() {
+	e, err := pimtree.Open(pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: 8,
+		WindowS: 8,
+		Diff:    1,
+		Shards:  2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	batch := []pimtree.Arrival{
+		{Stream: pimtree.R, Key: 10},
+		{Stream: pimtree.S, Key: 11}, // pairs with R's 10
+		{Stream: pimtree.R, Key: 30},
+		{Stream: pimtree.S, Key: 29}, // pairs with R's 30
+	}
+	if err := e.PushBatch(batch); err != nil {
+		panic(err)
+	}
+	// Drain is the streaming barrier: after it, every pushed tuple's
+	// matches are reflected in Stats.
+	if err := e.Drain(context.Background()); err != nil {
+		panic(err)
+	}
+	fmt.Println("matches after drain:", e.Stats().Matches)
+	e.Close(context.Background())
+	// Output: matches after drain: 2
+}
+
+// ExampleEngine_Matches consumes the pull side: a range-over-func iterator
+// that yields matches in propagation order. Arm it before pushing; it ends
+// once the engine is closed and the buffer is drained.
+func ExampleEngine_Matches() {
+	e, err := pimtree.Open(pimtree.Config{
+		Mode:    pimtree.ModeSerial,
+		WindowR: 4,
+		WindowS: 4,
+		Diff:    0, // exact key equality
+	})
+	if err != nil {
+		panic(err)
+	}
+	matches := e.Matches() // arm the pull side before the first push
+	e.Push(pimtree.R, 7)
+	e.Push(pimtree.S, 7)
+	e.Push(pimtree.R, 9)
+	e.Push(pimtree.S, 9)
+	e.Close(context.Background())
+	for m := range matches {
+		fmt.Printf("stream %d seq %d matched opposite seq %d\n", m.ProbeStream, m.ProbeSeq, m.MatchSeq)
+	}
+	// Output:
+	// stream 1 seq 0 matched opposite seq 0
+	// stream 1 seq 1 matched opposite seq 1
+}
 
 // ExampleNewJoin demonstrates the incremental band join: push tuples from
 // two streams, receive matches synchronously in arrival order.

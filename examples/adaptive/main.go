@@ -1,9 +1,10 @@
-// Adaptive: the sharded runtime's online rebalancing layer on a workload
+// Adaptive: the sharded engine's online rebalancing layer on a workload
 // static sharding cannot handle — a hot key band that jumps location
 // mid-stream (step skew). Static equal-width shards serialize on whichever
-// shard owns the current band; the adaptive runtime detects the imbalance,
+// shard owns the current band; the adaptive engine detects the imbalance,
 // recomputes boundaries from a sample of recent keys, and migrates the live
-// windows, splitting the hot band across every shard.
+// windows, splitting the hot band across every shard. Both runs are driven
+// through the streaming Engine API, one tuple at a time.
 //
 // Run with:
 //
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -33,38 +35,45 @@ func main() {
 	// Keys uniform inside the hot band, so the band predicate holding the
 	// match rate at ~2 is the uniform closed form scaled by the band width.
 	diff := uint32(hotWidth * float64(pimtree.DiffForMatchRate(windowLen, 2)))
-	opts := pimtree.JoinOptions{
-		WindowR: windowLen,
-		WindowS: windowLen,
-		Diff:    diff,
-		Backend: pimtree.PIMTree,
-	}
 	// Both streams share a generator seed so their hot bands coincide.
 	arrivals := pimtree.Interleave(1,
 		pimtree.StepSkewSource(2, hotWidth, period),
 		pimtree.StepSkewSource(2, hotWidth, period), 0.5, tuples)
 
-	static, err := pimtree.RunSharded(arrivals, pimtree.ShardedOptions{
-		JoinOptions: opts,
-		Shards:      shards,
-	})
-	if err != nil {
-		log.Fatal(err)
+	base := pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: windowLen, WindowS: windowLen, Diff: diff,
+		Shards: shards,
 	}
-	adaptive, err := pimtree.RunSharded(arrivals, pimtree.ShardedOptions{
-		JoinOptions: opts,
-		Shards:      shards,
-		Adaptive:    true,
-		// Defaults are fine; set explicitly here to show the knobs.
-		Rebalance: pimtree.RebalancePolicy{
-			MaxRatio:   1.5,
-			MinGap:     4 * windowLen,
-			SampleSize: 4096,
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
+	run := func(cfg pimtree.Config) pimtree.RunStats {
+		e, err := pimtree.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The streaming shape: one push per arrival, exactly what a live
+		// ingest loop would do.
+		for _, a := range arrivals {
+			if err := e.Push(a.Stream, a.Key); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st, err := e.Close(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
 	}
+
+	static := run(base)
+	adaptiveCfg := base
+	adaptiveCfg.Adaptive = true
+	// Defaults are fine; set explicitly here to show the knobs.
+	adaptiveCfg.Rebalance = pimtree.RebalancePolicy{
+		MaxRatio:   1.5,
+		MinGap:     4 * windowLen,
+		SampleSize: 4096,
+	}
+	adaptive := run(adaptiveCfg)
 
 	fmt.Printf("step-skew workload: %d tuples, hot band 1/16 of domain jumping every %d tuples, %d shards\n",
 		tuples, period, shards)

@@ -1,10 +1,11 @@
 // Out-of-order ingestion: event-time streams never arrive perfectly sorted
 // — network jitter, retries, and multi-source fan-in all disorder them. This
 // demo builds a timestamp-sorted workload, applies a bounded-disorder
-// shuffle, and shows the three time-capable runtimes (serial TimeJoin,
-// parallel RunParallelTime, sharded RunShardedTime) joining the shuffled
-// stream with exactly the match count of the sorted original, as long as the
-// configured Slack covers the disorder. It then tightens the slack below the
+// shuffle, and shows the time-capable layers joining the shuffled stream
+// with exactly the match count of the sorted original, as long as the
+// configured Slack covers the disorder: the serial TimeJoin in buffered
+// mode, and the sharded-time engine driven through the streaming Engine API
+// (PushTimed + pull-side Matches). It then tightens the slack below the
 // actual disorder and shows the late-tuple policy taking over.
 //
 // Run with:
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,46 +60,66 @@ func main() {
 	fmt.Printf("TimeJoin (ooo):      %d matches, %d late, max disorder %d\n",
 		j.Matches(), j.LateDropped(), j.MaxObservedDisorder())
 
-	// 2. Parallel shared-index time join.
-	par, err := pimtree.RunParallelTime(shuffled, pimtree.ParallelTimeOptions{
-		Threads: 4, Span: span, MaxLive: maxLive, Diff: diff,
+	// 2. The sharded-time engine: disorder is admitted at the router, and
+	// matches stream out through the pull side while tuples stream in.
+	e, err := pimtree.Open(pimtree.Config{
+		Mode: pimtree.ModeShardedTime,
+		Span: span, MaxLive: maxLive, Diff: diff,
 		Slack: slack, LatePolicy: pimtree.LateDrop,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("RunParallelTime:     %d matches, %d late (%.2f Mtps)\n",
-		par.Matches, par.LateDropped, par.Mtps)
-
-	// 3. Sharded time runtime: disorder is admitted at the router.
-	sh, err := pimtree.RunShardedTime(shuffled, pimtree.ShardedTimeOptions{
-		Shards: 4, Span: span, MaxLive: maxLive, Diff: diff,
-		Slack: slack, LatePolicy: pimtree.LateDrop,
-	})
+	pulled := make(chan uint64, 1)
+	matches := e.Matches() // arm the pull side before the first push
+	go func() {
+		var n uint64
+		for range matches {
+			n++
+		}
+		pulled <- n
+	}()
+	for _, a := range shuffled {
+		if err := e.PushTimed(a.Stream, a.Key, a.TS); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st, err := e.Close(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("RunShardedTime:      %d matches, %d late (%.2f Mtps)\n",
-		sh.Matches, sh.LateDropped, sh.Mtps)
+	fmt.Printf("Engine sharded-time: %d matches, %d late (%.2f Mtps, pull side saw %d)\n",
+		st.Matches, st.LateDropped, st.Mtps, <-pulled)
 
-	if j.Matches() != oracle.Matches() || par.Matches != oracle.Matches() || sh.Matches != oracle.Matches() {
+	if j.Matches() != oracle.Matches() || st.Matches != oracle.Matches() {
 		log.Fatal("runtimes disagreed with the sorted oracle")
 	}
-	fmt.Println("all three runtimes reproduced the sorted oracle exactly")
+	fmt.Println("both runtimes reproduced the sorted oracle exactly")
 
 	// Tighten the slack below the actual disorder: late tuples appear and
 	// follow the policy — here the side-channel callback.
 	lates := 0
-	tight, err := pimtree.RunShardedTime(shuffled, pimtree.ShardedTimeOptions{
-		Shards: 4, Span: span, MaxLive: maxLive, Diff: diff,
+	tight, err := pimtree.Open(pimtree.Config{
+		Mode: pimtree.ModeShardedTime,
+		Span: span, MaxLive: maxLive, Diff: diff,
 		Slack: slack / 16, LatePolicy: pimtree.LateCall,
-		OnLate: func(pimtree.TimedArrival, uint64) { lates++ },
+		OnLate:         func(pimtree.TimedArrival, uint64) { lates++ },
+		DiscardMatches: true, // count only; no match materialization
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, a := range shuffled {
+		if err := tight.PushTimed(a.Stream, a.Key, a.TS); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tst, err := tight.Close(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("slack/16 + LateCall: %d matches, %d tuples handed to the side channel\n",
-		tight.Matches, lates)
+		tst.Matches, lates)
 	if lates == 0 {
 		log.Fatal("expected late tuples under the tightened slack")
 	}

@@ -2,6 +2,11 @@
 // using the PIM-Tree backend — the smallest end-to-end use of the public
 // API.
 //
+// This example deliberately sticks to the batch compatibility wrappers
+// (NewJoin, RunParallel) as a migration reference; the streaming Engine API
+// (pimtree.Open) behind them is demonstrated by examples/sharded,
+// examples/adaptive, and examples/outoforder.
+//
 // Run with:
 //
 //	go run ./examples/quickstart

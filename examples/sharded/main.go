@@ -1,6 +1,8 @@
-// Sharded: the key-range sharded parallel join runtime side by side with
-// the paper's shared-index runtime on the same workload, plus a skewed
-// workload routed through a quantile partitioner.
+// Sharded: the key-range sharded runtime driven through the streaming
+// Engine API — one long-lived session per run, fed incrementally, with live
+// Stats snapshots mid-stream — side by side with the paper's shared-index
+// runtime on the same workload, plus a skewed workload routed through a
+// quantile partitioner.
 //
 // Run with:
 //
@@ -8,12 +10,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 
 	"pimtree"
 )
+
+// drive pushes a workload through one engine session, printing a Stats
+// snapshot mid-stream, and returns the final run statistics.
+func drive(cfg pimtree.Config, arrivals []pimtree.Arrival) pimtree.RunStats {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	half := len(arrivals) / 2
+	if err := e.PushBatch(arrivals[:half]); err != nil {
+		log.Fatal(err)
+	}
+	// Mid-stream visibility: Drain brings the session to a deterministic
+	// quiescent point, so this snapshot counts every pushed tuple's matches.
+	if err := e.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	mid := e.Stats()
+	fmt.Printf("    mid-stream (%s): %d tuples, %d matches\n", e.Mode(), mid.Tuples, mid.Matches)
+	if err := e.PushBatch(arrivals[half:]); err != nil {
+		log.Fatal(err)
+	}
+	st, err := e.Close(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
 
 func main() {
 	const (
@@ -22,33 +53,21 @@ func main() {
 	)
 	shards := runtime.GOMAXPROCS(0)
 	diff := pimtree.DiffForMatchRate(windowLen, 2)
-	opts := pimtree.JoinOptions{
-		WindowR: windowLen,
-		WindowS: windowLen,
-		Diff:    diff,
-		Backend: pimtree.PIMTree,
-	}
 
 	// Uniform keys: equal-width shard ranges balance by construction.
 	arrivals := pimtree.Interleave(1, pimtree.UniformSource(2), pimtree.UniformSource(3), 0.5, tuples)
 
-	sharded, err := pimtree.RunSharded(arrivals, pimtree.ShardedOptions{
-		JoinOptions: opts,
-		Shards:      shards,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	shared, err := pimtree.RunParallel(arrivals, pimtree.ParallelOptions{
-		Threads: shards,
-		WindowR: windowLen,
-		WindowS: windowLen,
-		Diff:    diff,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("uniform workload, %d tuples, %d workers:\n", tuples, shards)
+	sharded := drive(pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: windowLen, WindowS: windowLen, Diff: diff,
+		Shards: shards,
+	}, arrivals)
+	shared := drive(pimtree.Config{
+		Mode:    pimtree.ModeShared,
+		WindowR: windowLen, WindowS: windowLen, Diff: diff,
+		Threads: shards,
+	}, arrivals)
 	fmt.Printf("  sharded (key-range): %7.2f Mtps, %d matches\n", sharded.Mtps, sharded.Matches)
 	fmt.Printf("  shared  (PIM-Tree):  %7.2f Mtps, %d matches\n", shared.Mtps, shared.Matches)
 
@@ -63,21 +82,19 @@ func main() {
 	skewed := pimtree.Interleave(5,
 		pimtree.GaussianSource(6, 0.5, 0.125),
 		pimtree.GaussianSource(7, 0.5, 0.125), 0.5, tuples)
-	opts.Diff = pimtree.CalibrateDiff(func(s int64) pimtree.KeySource {
+	skewDiff := pimtree.CalibrateDiff(func(s int64) pimtree.KeySource {
 		return pimtree.GaussianSource(s, 0.5, 0.125)
 	}, windowLen, 2)
 
-	equal, err := pimtree.RunSharded(skewed, pimtree.ShardedOptions{JoinOptions: opts, Shards: shards})
-	if err != nil {
-		log.Fatal(err)
+	base := pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: windowLen, WindowS: windowLen, Diff: skewDiff,
+		Shards: shards,
 	}
-	quantile, err := pimtree.RunSharded(skewed, pimtree.ShardedOptions{
-		JoinOptions: opts,
-		Partitioner: pimtree.QuantilePartition(sample, shards),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	equal := drive(base, skewed)
+	quant := base
+	quant.Partitioner = pimtree.QuantilePartition(sample, shards)
+	quantile := drive(quant, skewed)
 	fmt.Printf("gaussian skew workload:\n")
 	fmt.Printf("  equal-width shards:  %7.2f Mtps, %d matches\n", equal.Mtps, equal.Matches)
 	fmt.Printf("  quantile shards:     %7.2f Mtps, %d matches\n", quantile.Mtps, quantile.Matches)

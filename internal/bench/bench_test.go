@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-cssfanout", "abl-singlelock", "abl-edgescan",
 		"abl-sharded", "abl-shardbatch", "abl-shardskew", "abl-adaptive",
 		"abl-ooo",
+		"abl-engine",
 		"model",
 	}
 	for _, id := range want {

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"log"
+
+	"pimtree"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-engine",
+		Title: "ablation: streaming Engine incremental-push overhead vs the batch drivers (Mtps)",
+		Run:   runAblEngine,
+	})
+}
+
+// runAblEngine quantifies what the long-lived Engine sessions cost relative
+// to the one-shot batch drivers on the same workload: the batch wrapper
+// (one PushBatch over a ring sized to the input — the pre-Engine memory
+// shape), per-tuple Push (the live-ingest shape, one queue handoff per
+// arrival), and mid-size PushBatch chunks (the amortized middle ground).
+// Run for both parallel modes; the serial engine has no queue, so its push
+// path is the baseline itself.
+func runAblEngine(cfg Config, out io.Writer) {
+	w := 1 << 14
+	if cfg.Scale == Quick {
+		w = 1 << 12
+	} else if cfg.Scale == Paper {
+		w = 1 << 17
+	}
+	header(out, "abl-engine", "incremental-push overhead at w="+wLabel(w))
+	row(out, "mode", "batch", "push1", "batch256")
+	n := cfg.tuplesFor(w)
+	diff := pimtree.DiffForMatchRate(w, 2)
+	arr := make([]pimtree.Arrival, n)
+	for i, a := range twoWay(n, cfg.seed()) {
+		arr[i] = pimtree.Arrival{Stream: pimtree.StreamID(a.Stream), Key: a.Key}
+	}
+
+	for _, mode := range []pimtree.Mode{pimtree.ModeShared, pimtree.ModeSharded} {
+		base := pimtree.Config{
+			Mode:    mode,
+			WindowR: w, WindowS: w, Diff: diff,
+			Threads: cfg.threads(), Shards: cfg.threads(),
+			DiscardMatches: true,
+		}
+		var batch float64
+		switch mode {
+		case pimtree.ModeShared:
+			st, err := pimtree.RunParallel(arr, pimtree.ParallelOptions{
+				Threads: cfg.threads(), WindowR: w, WindowS: w, Diff: diff,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			batch = st.Mtps
+		default:
+			st, err := pimtree.RunSharded(arr, pimtree.ShardedOptions{
+				JoinOptions: pimtree.JoinOptions{WindowR: w, WindowS: w, Diff: diff},
+				Shards:      cfg.threads(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			batch = st.Mtps
+		}
+		row(out, mode.String(), batch, driveEngine(base, arr, 1), driveEngine(base, arr, 256))
+	}
+}
+
+// driveEngine runs one engine session over the arrivals in chunks of the
+// given size (1 = per-tuple Push) and returns the session's throughput.
+func driveEngine(cfg pimtree.Config, arr []pimtree.Arrival, chunk int) float64 {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if chunk <= 1 {
+		for _, a := range arr {
+			if err := e.Push(a.Stream, a.Key); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		for lo := 0; lo < len(arr); lo += chunk {
+			hi := lo + chunk
+			if hi > len(arr) {
+				hi = len(arr)
+			}
+			if err := e.PushBatch(arr[lo:hi]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st, err := e.Close(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Mtps
+}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -56,9 +57,16 @@ type tupleState struct {
 	_         [64 - 9]byte
 }
 
-// sharedRun is the state shared by all workers of one parallel join.
+// sharedRun is the state shared by all workers of one parallel join session.
+//
+// The arrival queue is a ring of capN in-flight slots: Push claims the slot
+// of global index i at i%capN once the propagation head has retired its
+// previous tenant (i-capN), so the queue doubles as the session's
+// backpressure bound. All per-tuple bookkeeping arrays are rings of the same
+// capacity, indexed the same way.
 type sharedRun struct {
 	cfg      SharedConfig
+	capN     int
 	arrivals []stream.Arrival
 	wins     [2]*window.Concurrent
 	wlen     [2]uint64
@@ -66,15 +74,18 @@ type sharedRun struct {
 	bw       [2]*bwtree.Tree
 
 	// Task queue (Section 4.1). Admission to the windows happens at task
-	// acquisition under mu, so queue order is arrival order.
+	// acquisition under mu, so queue order is arrival order. appended is the
+	// number of arrivals pushed so far; nextAssign trails it.
 	mu            sync.Mutex
 	cond          *sync.Cond
 	nextAssign    int
+	appended      int
+	closed        bool
 	activeTasks   int
 	assignBlocked bool
 	indexUpdates  bool // false during merge phase 1
 
-	// Per-tuple bookkeeping, indexed by arrival position. Count and
+	// Per-tuple bookkeeping, ring-indexed by arrival position. Count and
 	// completion flag live in one cache-line-padded slot per tuple: they
 	// are written by the processing worker and read by the propagation
 	// holder, and unpadded arrays of adjacent tuples (different workers)
@@ -86,9 +97,22 @@ type sharedRun struct {
 	results   [][]uint64 // matched sequences, only when a sink is set
 
 	// Ordered result propagation (try-lock protocol of Section 4.1).
+	// routed mirrors appended for lock-free readers; propHead is the retire
+	// frontier pushers consult for slot reuse; matchesA mirrors matches for
+	// readers. Readers must never contend on propLock: a propagate pass that
+	// loses its retry CAS to a pure reader would strand a completed head,
+	// because only propagators re-check the head after releasing.
+	routed   atomic.Int64
 	propLock atomic.Bool
-	propHead int
+	propHead atomic.Int64
 	matches  uint64 // owned by the propagation lock holder
+	matchesA atomic.Uint64
+	// bpWaiters counts pushers/drainers blocked on the propagation
+	// frontier. Propagation only pays for the mutex + broadcast when one
+	// exists; waiters increment it before (re-)checking the frontier and
+	// propagate loads it after storing the frontier, so with sequentially
+	// consistent atomics one side always sees the other (no lost wakeup).
+	bpWaiters atomic.Int32
 
 	// Eager-delete safety (Bw-Tree): workerTe[t][sid] is the smallest te of
 	// worker t's current task against stream sid's window (maxUint64 when
@@ -105,6 +129,8 @@ type sharedRun struct {
 
 	chunkNanos []int64 // per-chunk completion times, owned by the propagation lock holder
 	startNano  int64
+
+	wg sync.WaitGroup
 }
 
 // backlogNum/backlogDen bound phase-1 admissions to w/4 unindexed tuples per
@@ -118,10 +144,43 @@ const (
 	backlogDen = 4
 )
 
-// RunShared executes the parallel shared-index window join over the arrival
-// sequence and returns its statistics. Results are propagated in arrival
-// order; the optional sink observes them in that order.
-func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
+// defaultSharedCapacity sizes the in-flight ring when the caller does not:
+// deep enough that workers never starve between pushes, shallow enough that
+// a stalled consumer backpressures quickly.
+const defaultSharedCapacity = 1 << 13
+
+// SharedWindowCheck reports whether count windows of length wr/ws can
+// absorb the shared runtime's in-flight tuples under the Bw-Tree's eager
+// deletes, returning the in-flight bound it computed. Zero and negative
+// threads/task resolve to the runtime's defaults. This is the single source
+// of the bound: StartShared panics on its failure, and the public Config
+// validation consults it first to return an error instead.
+func SharedWindowCheck(threads, task, wr, ws int) (inflight int, ok bool) {
+	if threads <= 0 {
+		threads = 1
+	}
+	if task <= 0 {
+		task = 8
+	}
+	inflight = threads*task + 64
+	return inflight, wr > 2*inflight && ws > 2*inflight
+}
+
+// Shared is a long-lived handle on the parallel shared-index join: a
+// start/feed/drain lifecycle over the same worker pool, task queue, and
+// ordered-propagation machinery RunShared batches over. Push, PushBatch,
+// Drain, and Close must be called from one goroutine; Matches and Tuples are
+// safe from any goroutine.
+type Shared struct {
+	r     *sharedRun
+	start time.Time
+}
+
+// StartShared builds the shared-index runtime, starts its workers, and
+// returns the streaming handle. capacity bounds the in-flight (pushed but
+// not yet propagated) tuples: a Push past it blocks until the ordered
+// propagation frontier advances (<= 0 selects a default).
+func StartShared(cfg SharedConfig, capacity int) *Shared {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
@@ -137,19 +196,23 @@ func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
 	if cfg.WS <= 0 {
 		panic("join: WS must be positive")
 	}
-	inflight := cfg.Threads*cfg.TaskSize + 64
-	if cfg.Index == IndexBwTree && (cfg.WR <= 2*inflight || cfg.WS <= 2*inflight) {
+	inflight, windowsOK := SharedWindowCheck(cfg.Threads, cfg.TaskSize, cfg.WR, cfg.WS)
+	if cfg.Index == IndexBwTree && !windowsOK {
 		panic(fmt.Sprintf("join: windows (%d,%d) too small for %d in-flight tuples with eager deletes",
 			cfg.WR, cfg.WS, inflight))
+	}
+	if capacity <= 0 {
+		capacity = defaultSharedCapacity
 	}
 
 	r := &sharedRun{
 		cfg:      cfg,
-		arrivals: arrivals,
+		capN:     capacity,
+		arrivals: make([]stream.Arrival, capacity),
 		wlen:     [2]uint64{uint64(cfg.WR), uint64(cfg.WS)},
-		tupleSeq: make([]uint64, len(arrivals)),
-		oppTL:    make([]uint64, len(arrivals)),
-		state:    make([]tupleState, len(arrivals)),
+		tupleSeq: make([]uint64, capacity),
+		oppTL:    make([]uint64, capacity),
+		state:    make([]tupleState, capacity),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.indexUpdates = true
@@ -158,10 +221,10 @@ func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
 		r.workerTe[t] = [2]uint64{^uint64(0), ^uint64(0)}
 	}
 	if cfg.Sink != nil {
-		r.results = make([][]uint64, len(arrivals))
+		r.results = make([][]uint64, capacity)
 	}
 	if cfg.Latency != nil {
-		r.admitNano = make([]int64, len(arrivals))
+		r.admitNano = make([]int64, capacity)
 	}
 	r.wins[0] = window.NewConcurrent(cfg.WR, inflight)
 	if cfg.Self {
@@ -190,41 +253,148 @@ func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
 
 	start := time.Now()
 	r.startNano = start.UnixNano()
-	var wg sync.WaitGroup
 	for t := 0; t < cfg.Threads; t++ {
-		wg.Add(1)
+		r.wg.Add(1)
 		go func(id int) {
-			defer wg.Done()
+			defer r.wg.Done()
 			r.worker(id)
 		}(t)
 	}
-	wg.Wait()
+	return &Shared{r: r, start: start}
+}
+
+// Push appends one arrival to the task queue, blocking while the in-flight
+// ring is full (backpressure). It is the single-element case of PushBatch,
+// so both paths share one wait-and-publish protocol.
+func (s *Shared) Push(a stream.Arrival) {
+	var one [1]stream.Arrival
+	one[0] = a
+	s.PushBatch(one[:])
+}
+
+// PushBatch appends a batch of arrivals, amortizing the queue lock over the
+// whole batch; it blocks as needed when the batch exceeds the free ring
+// space.
+func (s *Shared) PushBatch(as []stream.Arrival) {
+	r := s.r
+	r.mu.Lock()
+	i := 0
+	for i < len(as) {
+		if r.appended-int(r.propHead.Load()) >= r.capN {
+			r.bpWaiters.Add(1)
+			for r.appended-int(r.propHead.Load()) >= r.capN {
+				r.cond.Wait()
+			}
+			r.bpWaiters.Add(-1)
+		}
+		free := r.capN - (r.appended - int(r.propHead.Load()))
+		for ; free > 0 && i < len(as); free-- {
+			r.publish(as[i])
+			i++
+		}
+		r.routed.Store(int64(r.appended))
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// publish claims the next ring slot for an arrival. Caller holds mu and has
+// verified the slot's previous tenant was retired by the propagation head.
+func (r *sharedRun) publish(a stream.Arrival) {
+	slot := r.appended % r.capN
+	st := &r.state[slot]
+	st.count = 0
+	st.completed.Store(false)
+	if r.results != nil {
+		r.results[slot] = nil
+	}
+	r.arrivals[slot] = a
+	r.appended++
+}
+
+// Drain blocks until every pushed tuple has been processed and its matches
+// propagated (the streaming analogue of end-of-batch), or until ctx is done.
+// The session stays usable afterwards.
+func (s *Shared) Drain(ctx context.Context) error {
+	r := s.r
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bpWaiters.Add(1)
+	defer r.bpWaiters.Add(-1)
+	for int(r.propHead.Load()) < r.appended {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.cond.Wait()
+	}
+	return nil
+}
+
+// Matches returns the number of matches propagated so far. Safe from any
+// goroutine; the count trails pushes by the in-flight tuples.
+func (s *Shared) Matches() uint64 { return s.r.matchesA.Load() }
+
+// Tuples returns the number of arrivals pushed so far.
+func (s *Shared) Tuples() int { return int(s.r.routed.Load()) }
+
+// Close ends the session: workers finish the queued tuples and exit, the
+// final propagation flushes every result, and the run's statistics are
+// returned.
+func (s *Shared) Close() Stats {
+	r := s.r
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
 	// Drain any results the last workers could not propagate.
 	r.propagate(time.Now().UnixNano())
-	elapsed := time.Since(start)
+	elapsed := time.Since(s.start)
 
 	st := Stats{
-		Tuples:    len(arrivals),
+		Tuples:    r.appended,
 		Matches:   r.matches,
 		Elapsed:   elapsed,
 		Merges:    r.merges,
 		MergeTime: r.mergeTime,
 	}
-	if cfg.Latency != nil {
-		st.Latency = cfg.Latency.Summarize()
+	if r.cfg.Latency != nil {
+		st.Latency = r.cfg.Latency.Summarize()
 	}
-	if cfg.ChunkTuples > 0 {
+	if r.cfg.ChunkTuples > 0 {
 		prev := r.startNano
 		for _, nano := range r.chunkNanos {
 			d := time.Duration(nano - prev)
 			st.Chunks = append(st.Chunks, ChunkStat{
-				Tuples: cfg.ChunkTuples,
-				Mtps:   metrics.Mtps(cfg.ChunkTuples, d),
+				Tuples: r.cfg.ChunkTuples,
+				Mtps:   metrics.Mtps(r.cfg.ChunkTuples, d),
 			})
 			prev = nano
 		}
 	}
 	return st
+}
+
+// RunShared executes the parallel shared-index window join over the arrival
+// sequence and returns its statistics — the batch driver over the streaming
+// session: the ring is sized to the whole input, so the single PushBatch
+// never blocks and the memory shape matches a dedicated batch run. Results
+// are propagated in arrival order; the optional sink observes them in that
+// order.
+func RunShared(arrivals []stream.Arrival, cfg SharedConfig) Stats {
+	capacity := len(arrivals)
+	if capacity == 0 {
+		capacity = 1
+	}
+	s := StartShared(cfg, capacity)
+	s.PushBatch(arrivals)
+	return s.Close()
 }
 
 // streamID maps an arrival's stream to a window/index slot (self-joins fold
@@ -257,21 +427,29 @@ func (r *sharedRun) backlogExceeded() bool {
 // acquire implements task acquisition (Section 4.1): take the next TaskSize
 // tuples from the queue, admit them into their windows (recording the tl
 // snapshot per tuple), publish the task's window boundaries for
-// delete-safety, and mark the task active. Returns lo >= hi when no work
-// remains.
+// delete-safety, and mark the task active. Blocks while the queue is empty
+// and the session is still open; returns lo >= hi once it is closed and
+// fully assigned.
 func (r *sharedRun) acquire(worker int) (lo, hi int, updates bool, admitNano int64) {
 	r.mu.Lock()
-	for (r.assignBlocked || (!r.indexUpdates && r.backlogExceeded())) && r.nextAssign < len(r.arrivals) {
+	for {
+		if r.nextAssign < r.appended {
+			if r.assignBlocked || (!r.indexUpdates && r.backlogExceeded()) {
+				r.cond.Wait()
+				continue
+			}
+			break
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return 0, 0, false, 0
+		}
 		r.cond.Wait()
-	}
-	if r.nextAssign >= len(r.arrivals) {
-		r.mu.Unlock()
-		return 0, 0, false, 0
 	}
 	lo = r.nextAssign
 	hi = lo + r.cfg.TaskSize
-	if hi > len(r.arrivals) {
-		hi = len(r.arrivals)
+	if hi > r.appended {
+		hi = r.appended
 	}
 	r.nextAssign = hi
 	r.activeTasks++
@@ -280,18 +458,19 @@ func (r *sharedRun) acquire(worker int) (lo, hi int, updates bool, admitNano int
 		admitNano = time.Now().UnixNano()
 	}
 	for i := lo; i < hi; i++ {
-		a := r.arrivals[i]
+		slot := i % r.capN
+		a := r.arrivals[slot]
 		oppID := r.oppositeID(a.Stream)
 		own := r.wins[r.streamID(a.Stream)]
 		opp := r.wins[oppID]
 		// tl snapshot before this tuple is published: for self-joins this
 		// excludes the tuple itself from its own result set.
 		tl := opp.Head()
-		r.oppTL[i] = tl
+		r.oppTL[slot] = tl
 		_, seq := own.Append(a.Key)
-		r.tupleSeq[i] = seq
+		r.tupleSeq[slot] = seq
 		if r.admitNano != nil {
-			r.admitNano[i] = admitNano
+			r.admitNano[slot] = admitNano
 		}
 		// Publish this probe's te so no concurrent eager delete removes a
 		// tuple still inside its window (smallest te per stream wins).
@@ -368,6 +547,11 @@ func (r *sharedRun) worker(id int) {
 			if updates {
 				r.indexUpdate(i)
 			}
+			// Only now is the slot done being read: marking completed any
+			// earlier would let propagate retire it and a backpressured
+			// pusher republish it while indexUpdate still reads the old
+			// tenant's arrival and sequence.
+			r.state[i%r.capN].completed.Store(true)
 		}
 		if updates {
 			// Edge advancement amortized per task: tuples were marked
@@ -405,12 +589,13 @@ func (r *sharedRun) query(sid uint8, lo, hi uint32, emit func(kv.Pair) bool) {
 // restricted to sequence numbers before the edge snapshot, plus a linear
 // window scan from the edge to the tl snapshot (Figure 6).
 func (r *sharedRun) process(i int) {
-	a := r.arrivals[i]
+	slot := i % r.capN
+	a := r.arrivals[slot]
 	oppID := r.oppositeID(a.Stream)
 	opp := r.wins[oppID]
 	oppW := r.wlen[oppID]
 	lo, hi := r.cfg.Band.Range(a.Key)
-	tl := r.oppTL[i]
+	tl := r.oppTL[slot]
 	te := uint64(0)
 	if tl > oppW {
 		te = tl - oppW
@@ -451,11 +636,13 @@ func (r *sharedRun) process(i int) {
 		return true
 	})
 
-	r.state[i].count = count
+	r.state[slot].count = count
 	if r.results != nil {
-		r.results[i] = matched
+		r.results[slot] = matched
 	}
-	r.state[i].completed.Store(true)
+	// completed is NOT set here: it is the retire gate for ring-slot reuse,
+	// and the worker still has to read the slot in indexUpdate. The worker
+	// loop sets it once it is done with the slot.
 }
 
 // indexUpdate implements step 3 (Section 4.1): insert the tuple into its
@@ -463,10 +650,11 @@ func (r *sharedRun) process(i int) {
 // Eager deletes for the Bw-Tree are batched per task in expireBw, bounded by
 // the smallest active window boundary so in-flight probes never lose tuples.
 func (r *sharedRun) indexUpdate(i int) {
-	a := r.arrivals[i]
+	slot := i % r.capN
+	a := r.arrivals[slot]
 	sid := r.streamID(a.Stream)
 	own := r.wins[sid]
-	seq := r.tupleSeq[i]
+	seq := r.tupleSeq[slot]
 	p := kv.Pair{Key: a.Key, Ref: own.RefOf(seq)}
 	if r.cfg.Index == IndexPIMTree {
 		r.pim[sid].Load().Insert(p)
@@ -478,36 +666,63 @@ func (r *sharedRun) indexUpdate(i int) {
 
 // propagate implements ordered result propagation (Section 4.1): under a
 // try-lock, flush the results of every completed tuple at the queue head in
-// arrival order.
+// arrival order. After releasing the lock it re-checks the head: a worker
+// whose completion lost the try-lock race while this holder was mid-pass
+// must not strand its tuple, so the holder loops until the head is
+// incomplete (Go's sequentially consistent atomics make the re-check sound).
 func (r *sharedRun) propagate(nowNano int64) {
-	if !r.propLock.CompareAndSwap(false, true) {
-		return
-	}
-	for r.propHead < len(r.arrivals) && r.state[r.propHead].completed.Load() {
-		h := r.propHead
-		r.matches += uint64(r.state[h].count)
-		if r.cfg.Sink != nil {
-			a := r.arrivals[h]
-			for _, mseq := range r.results[h] {
-				r.cfg.Sink(a.Stream, r.tupleSeq[h], mseq)
+	for {
+		if !r.propLock.CompareAndSwap(false, true) {
+			return
+		}
+		routed := int(r.routed.Load())
+		head := int(r.propHead.Load())
+		advanced := false
+		for head < routed && r.state[head%r.capN].completed.Load() {
+			h := head % r.capN
+			r.matches += uint64(r.state[h].count)
+			if r.cfg.Sink != nil {
+				a := r.arrivals[h]
+				for _, mseq := range r.results[h] {
+					r.cfg.Sink(a.Stream, r.tupleSeq[h], mseq)
+				}
+			}
+			if r.cfg.Latency != nil {
+				// The caller's timestamp predates the loop; a tuple admitted
+				// after it can complete and reach the head within this same
+				// propagation pass. Refresh the clock instead of recording a
+				// negative latency.
+				if r.admitNano[h] > nowNano {
+					nowNano = time.Now().UnixNano()
+				}
+				r.cfg.Latency.Record(time.Duration(nowNano - r.admitNano[h]))
+			}
+			head++
+			advanced = true
+			if r.cfg.ChunkTuples > 0 && head%r.cfg.ChunkTuples == 0 {
+				r.chunkNanos = append(r.chunkNanos, time.Now().UnixNano())
 			}
 		}
-		if r.cfg.Latency != nil {
-			// The caller's timestamp predates the loop; a tuple admitted
-			// after it can complete and reach the head within this same
-			// propagation pass. Refresh the clock instead of recording a
-			// negative latency.
-			if r.admitNano[h] > nowNano {
-				nowNano = time.Now().UnixNano()
-			}
-			r.cfg.Latency.Record(time.Duration(nowNano - r.admitNano[h]))
+		if advanced {
+			// The match mirror first: a drainer that observes the advanced
+			// frontier must also observe the matches behind it.
+			r.matchesA.Store(r.matches)
+			r.propHead.Store(int64(head))
 		}
-		r.propHead++
-		if r.cfg.ChunkTuples > 0 && r.propHead%r.cfg.ChunkTuples == 0 {
-			r.chunkNanos = append(r.chunkNanos, time.Now().UnixNano())
+		r.propLock.Store(false)
+		if advanced && r.bpWaiters.Load() > 0 {
+			// Wake pushers blocked on ring space and drainers waiting for
+			// the frontier. Skipped when none exists — a batch run never
+			// has one — to keep the propagation path off the queue mutex.
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		}
+		routed = int(r.routed.Load())
+		if head >= routed || !r.state[head%r.capN].completed.Load() {
+			return
 		}
 	}
-	r.propLock.Store(false)
 }
 
 // maybeMerge volunteers this worker as the merging thread when a PIM-Tree

@@ -95,14 +95,19 @@ type pendingBatch struct {
 	first int // arrival index of the oldest buffered op (-1 when empty)
 }
 
+// defaultRouterCapacity sizes the in-flight ring when the caller does not.
+const defaultRouterCapacity = 1 << 14
+
 // Router is the front end of the sharded runtime. Push routes arrivals;
-// Close drains the shards and returns the run's statistics. Push and Close
-// must be called from one goroutine; match propagation to the sink happens
-// concurrently on shard goroutines but always in global arrival order.
+// Drain quiesces the shards mid-session; Close drains them and returns the
+// run's statistics. Push, Drain, and Close must be called from one
+// goroutine; match propagation to the sink happens concurrently on shard
+// goroutines but always in global arrival order.
 //
-// A Router is sized for a bounded run of capacity arrivals (the batch shape
-// shared by all drivers in this repository); pushing beyond the capacity
-// panics.
+// A Router holds per-arrival completion state in a ring of capacity slots
+// (the session's in-flight bound): pushing more than capacity arrivals
+// ahead of the ordered-propagation frontier flushes the pending batches and
+// blocks until the merge stage catches up — the runtime's backpressure.
 type Router struct {
 	cfg     Config
 	part    Partitioner
@@ -114,19 +119,35 @@ type Router struct {
 	heads [2]uint64 // per-stream global sequence counters
 	wlen  [2]uint64
 	n     int // arrivals routed so far
-	cap   int
+	capN  int // in-flight ring capacity
 
-	// Per-arrival completion records shared with shard workers.
+	// Per-arrival completion records shared with shard workers, ring-indexed
+	// by arrival position modulo capN.
 	probeStream []uint8
 	probeSeq    []uint64
-	results     [][][]uint64 // [arrival][fanout bucket][match seqs]
+	results     [][][]uint64 // [slot][fanout bucket][match seqs]
 	state       []probeState
 	routed      atomic.Int64 // arrivals fully published (workers read)
 
 	// Ordered propagation (same try-lock protocol as the shared runtime).
+	// propHead is the retire frontier the router consults for slot reuse;
+	// matchesA mirrors matches for readers. Readers must never contend on
+	// propLock: a propagate pass that loses its retry CAS to a pure reader
+	// would strand a completed head, because only propagators re-check the
+	// head after releasing.
 	propLock atomic.Bool
-	propHead int
+	propHead atomic.Int64
 	matches  uint64
+	matchesA atomic.Uint64
+
+	// Backpressure handshake: the router waits on bpCond while the ring is
+	// full; the propagation holder broadcasts after advancing the frontier,
+	// but only when bpWaiters says the router is actually parked (the
+	// waiter increments before re-checking the frontier and propagate loads
+	// after storing it, so sequential consistency rules out a lost wakeup).
+	bpMu      sync.Mutex
+	bpCond    *sync.Cond
+	bpWaiters atomic.Int32
 
 	// Flush accounting, readable after Close (or between Pushes) for tests
 	// and diagnostics.
@@ -152,8 +173,9 @@ type Router struct {
 	reorder *ooo.Reorderer
 }
 
-// NewRouter builds a sharded runtime for a run of at most capacity arrivals
-// and starts one worker goroutine per shard.
+// NewRouter builds a sharded runtime whose in-flight ring holds capacity
+// arrivals (<= 0 selects a default) and starts one worker goroutine per
+// shard.
 func NewRouter(cfg Config, capacity int) *Router {
 	if cfg.Timed {
 		if cfg.Span == 0 {
@@ -194,6 +216,9 @@ func NewRouter(cfg Config, capacity int) *Router {
 			cfg.FlushHorizon = cfg.WS
 		}
 	}
+	if capacity <= 0 {
+		capacity = defaultRouterCapacity
+	}
 	k := cfg.Part.Shards()
 	r := &Router{
 		cfg:         cfg,
@@ -202,13 +227,14 @@ func NewRouter(cfg Config, capacity int) *Router {
 		chans:       make([]chan []op, k),
 		pend:        make([]pendingBatch, k),
 		wlen:        [2]uint64{uint64(cfg.WR), uint64(cfg.WS)},
-		cap:         capacity,
+		capN:        capacity,
 		probeStream: make([]uint8, capacity),
 		probeSeq:    make([]uint64, capacity),
 		results:     make([][][]uint64, capacity),
 		state:       make([]probeState, capacity),
 		probeRouted: make([]int, k),
 	}
+	r.bpCond = sync.NewCond(&r.bpMu)
 	if cfg.Adaptive {
 		// Load accounting only exists when something reads it: the
 		// counters are atomic (monitor goroutine) and sit on the routing
@@ -254,13 +280,35 @@ func (r *Router) clampShard(s int) int {
 	return s
 }
 
-// Push routes one arrival: a probe op to every shard whose range intersects
-// the band interval, then an insert op to the key's owner shard.
-func (r *Router) Push(a stream.Arrival) {
-	if r.n >= r.cap {
-		panic("shard: Push past router capacity")
+// admit claims the in-flight ring slot for the next arrival, applying
+// backpressure: when the ring is full it flushes every pending batch (the
+// ops the merge stage is waiting on may still be buffered here) and blocks
+// until the propagation frontier retires the slot's previous tenant.
+func (r *Router) admit() int {
+	if r.n-int(r.propHead.Load()) >= r.capN {
+		for s := range r.pend {
+			r.flush(s)
+		}
+		r.bpMu.Lock()
+		r.bpWaiters.Add(1)
+		for r.n-int(r.propHead.Load()) >= r.capN {
+			r.bpCond.Wait()
+		}
+		r.bpWaiters.Add(-1)
+		r.bpMu.Unlock()
 	}
+	slot := r.n % r.capN
+	r.results[slot] = nil
+	r.state[slot].completed.Store(false)
+	return slot
+}
+
+// Push routes one arrival: a probe op to every shard whose range intersects
+// the band interval, then an insert op to the key's owner shard. Blocks
+// while the in-flight ring is full.
+func (r *Router) Push(a stream.Arrival) {
 	i := r.n
+	slot := r.admit()
 	own := r.sid(a.Stream)
 	opp := own
 	if !r.cfg.Self {
@@ -277,10 +325,10 @@ func (r *Router) Push(a stream.Arrival) {
 	lo, hi := r.cfg.Band.Range(a.Key)
 	s1 := r.clampShard(r.part.ShardOf(lo))
 	s2 := r.clampShard(r.part.ShardOf(hi))
-	r.probeStream[i] = a.Stream
-	r.probeSeq[i] = r.heads[own]
-	r.results[i] = make([][]uint64, s2-s1+1)
-	r.state[i].pending.Store(int32(s2 - s1 + 1))
+	r.probeStream[slot] = a.Stream
+	r.probeSeq[slot] = r.heads[own]
+	r.results[slot] = make([][]uint64, s2-s1+1)
+	r.state[slot].pending.Store(int32(s2 - s1 + 1))
 	for s := s1; s <= s2; s++ {
 		r.probeRouted[s]++
 		r.stats.probe(s)
@@ -319,7 +367,7 @@ func (r *Router) Push(a stream.Arrival) {
 // only). Event times may be disordered up to the configured Slack; tuples
 // later than that follow the Late policy. Routing happens as the watermark
 // (max observed timestamp - Slack) releases tuples in timestamp order, so a
-// push may route zero or more tuples, and Close drains the remainder.
+// push may route zero or more tuples, and Drain/Close flush the remainder.
 func (r *Router) PushTimed(s uint8, key uint32, ts uint64) {
 	if r.reorder == nil {
 		panic("shard: PushTimed on a count-window router")
@@ -332,10 +380,8 @@ func (r *Router) PushTimed(s uint8, key uint32, ts uint64) {
 // owner shard. Released timestamps are non-decreasing, which is what makes
 // the per-shard stores' ring eviction and the probes' seq < tl bound exact.
 func (r *Router) routeTimed(t ooo.Tuple) {
-	if r.n >= r.cap {
-		panic("shard: Push past router capacity")
-	}
 	i := r.n
+	slot := r.admit()
 	own := r.sid(t.Stream)
 	opp := own
 	if !r.cfg.Self {
@@ -353,10 +399,10 @@ func (r *Router) routeTimed(t ooo.Tuple) {
 	lo, hi := r.cfg.Band.Range(t.Key)
 	s1 := r.clampShard(r.part.ShardOf(lo))
 	s2 := r.clampShard(r.part.ShardOf(hi))
-	r.probeStream[i] = t.Stream
-	r.probeSeq[i] = r.heads[own]
-	r.results[i] = make([][]uint64, s2-s1+1)
-	r.state[i].pending.Store(int32(s2 - s1 + 1))
+	r.probeStream[slot] = t.Stream
+	r.probeSeq[slot] = r.heads[own]
+	r.results[slot] = make([][]uint64, s2-s1+1)
+	r.state[slot].pending.Store(int32(s2 - s1 + 1))
 	for s := s1; s <= s2; s++ {
 		r.probeRouted[s]++
 		r.enqueue(s, op{
@@ -442,6 +488,20 @@ func (r *Router) drainBarrier() {
 	r.barrier.Wait()
 }
 
+// Drain quiesces the session deterministically: flush the reorder buffer
+// (timed mode — everything still buffered is admitted, advancing the
+// watermark past it), flush every pending batch, wait at the drain barrier
+// until all routed ops are applied, and run the ordered propagation to the
+// frontier. On return every pushed tuple's matches have reached the sink
+// and Matches(); the session stays usable. Router-goroutine only.
+func (r *Router) Drain() {
+	if r.reorder != nil {
+		r.reorder.Flush(r.routeTimed)
+	}
+	r.drainBarrier()
+	r.propagate()
+}
+
 // Rebalances returns how many rebalance epochs have completed.
 func (r *Router) Rebalances() int { return r.epochs }
 
@@ -513,17 +573,13 @@ func (r *Router) FlushCounts() (size, horizon int) {
 }
 
 // Matches returns the number of matches propagated so far. Safe to call
-// between Pushes; the count trails routing by at most the unflushed batches.
-func (r *Router) Matches() uint64 {
-	// propagate may run concurrently on workers; take the lock to read a
-	// consistent count.
-	for !r.propLock.CompareAndSwap(false, true) {
-		runtime.Gosched()
-	}
-	m := r.matches
-	r.propLock.Store(false)
-	return m
-}
+// from any goroutine; the count trails routing by at most the unflushed
+// batches.
+func (r *Router) Matches() uint64 { return r.matchesA.Load() }
+
+// Tuples returns the number of arrivals routed so far (in timed mode,
+// admitted by the reorder buffer). Safe from any goroutine.
+func (r *Router) Tuples() int { return int(r.routed.Load()) }
 
 // Close flushes all pending batches, stops the workers, performs the final
 // ordered propagation, and returns the run's statistics (Elapsed is left to
@@ -576,9 +632,10 @@ func (r *Router) worker(s int) {
 				e.insert(o)
 				continue
 			}
-			r.results[o.idx][o.bucket] = e.probe(o)
-			if r.state[o.idx].pending.Add(-1) == 0 {
-				r.state[o.idx].completed.Store(true)
+			slot := o.idx % r.capN
+			r.results[slot][o.bucket] = e.probe(o)
+			if r.state[slot].pending.Add(-1) == 0 {
+				r.state[slot].completed.Store(true)
 			}
 		}
 		e.maintain(r.cfg.Self)
@@ -590,30 +647,57 @@ func (r *Router) worker(s int) {
 // propagate is the order-preserving merge stage: under a try-lock, emit the
 // matches of every completed arrival at the queue head, in arrival order.
 // Within one arrival, buckets are emitted in shard order, which is key-range
-// order for a monotone partitioner.
+// order for a monotone partitioner. After releasing the lock the holder
+// re-checks the head: a shard whose completion lost the try-lock race while
+// this holder was mid-pass must not strand its arrival, so the holder loops
+// until the head is incomplete (Go's sequentially consistent atomics make
+// the re-check sound).
 func (r *Router) propagate() {
-	if !r.propLock.CompareAndSwap(false, true) {
-		return
-	}
-	routed := int(r.routed.Load())
-	for r.propHead < routed && r.state[r.propHead].completed.Load() {
-		h := r.propHead
-		for _, bucket := range r.results[h] {
-			r.matches += uint64(len(bucket))
-			if r.cfg.Sink != nil {
-				for _, mseq := range bucket {
-					r.cfg.Sink(r.probeStream[h], r.probeSeq[h], mseq)
+	for {
+		if !r.propLock.CompareAndSwap(false, true) {
+			return
+		}
+		routed := int(r.routed.Load())
+		head := int(r.propHead.Load())
+		advanced := false
+		for head < routed && r.state[head%r.capN].completed.Load() {
+			h := head % r.capN
+			for _, bucket := range r.results[h] {
+				r.matches += uint64(len(bucket))
+				if r.cfg.Sink != nil {
+					for _, mseq := range bucket {
+						r.cfg.Sink(r.probeStream[h], r.probeSeq[h], mseq)
+					}
 				}
 			}
+			r.results[h] = nil
+			head++
+			advanced = true
 		}
-		r.results[h] = nil
-		r.propHead++
+		if advanced {
+			// The match mirror first: a drainer that observes the advanced
+			// frontier must also observe the matches behind it.
+			r.matchesA.Store(r.matches)
+			r.propHead.Store(int64(head))
+		}
+		r.propLock.Store(false)
+		if advanced && r.bpWaiters.Load() > 0 {
+			// Wake the router if it is blocked on ring space; skipped when
+			// it is not, keeping the merge stage off the mutex.
+			r.bpMu.Lock()
+			r.bpCond.Broadcast()
+			r.bpMu.Unlock()
+		}
+		routed = int(r.routed.Load())
+		if head >= routed || !r.state[head%r.capN].completed.Load() {
+			return
+		}
 	}
-	r.propLock.Store(false)
 }
 
 // Run executes the sharded join over a pre-materialized arrival sequence and
-// returns its statistics — the sharded counterpart of join.RunShared.
+// returns its statistics — the sharded counterpart of join.RunShared. The
+// ring is sized to the whole input, so no push ever blocks.
 func Run(arrivals []stream.Arrival, cfg Config) join.Stats {
 	r := NewRouter(cfg, len(arrivals))
 	start := time.Now()

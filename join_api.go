@@ -1,13 +1,10 @@
 package pimtree
 
 import (
-	"fmt"
-	"runtime"
+	"context"
 	"time"
 
-	"pimtree/internal/core"
 	"pimtree/internal/join"
-	"pimtree/internal/metrics"
 	"pimtree/internal/shard"
 	"pimtree/internal/stream"
 )
@@ -80,50 +77,42 @@ type JoinOptions struct {
 	OnMatch func(Match)
 }
 
-// Join is an incremental band join: push tuples, get matches. Not safe for
-// concurrent use — for multicore execution use RunParallel.
+// engineConfig translates the historical option struct into the unified
+// Config (the single validation and construction point).
+func (o JoinOptions) engineConfig() Config {
+	return Config{
+		Mode:           ModeSerial,
+		WindowR:        o.WindowR,
+		WindowS:        o.WindowS,
+		Self:           o.Self,
+		Diff:           o.Diff,
+		Backend:        o.Backend,
+		ChainLength:    o.ChainLength,
+		Index:          o.Index,
+		OnMatch:        o.OnMatch,
+		DiscardMatches: o.OnMatch == nil,
+	}
+}
+
+// Join is an incremental band join: push tuples, get matches — a serial-mode
+// compatibility wrapper over Engine. Not safe for concurrent use; for
+// multicore execution use Open (or RunParallel/RunSharded).
 type Join struct {
-	eng     *join.Streaming
-	matches uint64
-	tuples  uint64
+	e *Engine
 }
 
 // NewJoin builds an incremental join operator.
 func NewJoin(o JoinOptions) (*Join, error) {
-	if o.WindowR <= 0 {
-		return nil, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
+	e, err := Open(o.engineConfig())
+	if err != nil {
+		return nil, err
 	}
-	if !o.Self && o.WindowS <= 0 {
-		return nil, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
-	}
-	cfg := join.SerialConfig{
-		WR:          o.WindowR,
-		WS:          o.WindowS,
-		Self:        o.Self,
-		Band:        join.Band{Diff: o.Diff},
-		Index:       o.Backend.kind(),
-		ChainLength: o.ChainLength,
-		IM:          core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
-		PIM: core.PIMTreeConfig{
-			MergeRatio:     o.Index.MergeRatio,
-			InsertionDepth: o.Index.InsertionDepth,
-		},
-	}
-	if o.OnMatch != nil {
-		cb := o.OnMatch
-		cfg.Sink = func(s uint8, probe, match uint64) {
-			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
-		}
-	}
-	return &Join{eng: join.NewStreaming(cfg)}, nil
+	return &Join{e: e}, nil
 }
 
 // Push processes one tuple and returns how many matches it produced.
 func (j *Join) Push(s StreamID, key uint32) int {
-	n := j.eng.Push(stream.Arrival{Stream: uint8(s), Key: key})
-	j.matches += uint64(n)
-	j.tuples++
-	return n
+	return j.e.pushSerial(stream.Arrival{Stream: uint8(s), Key: key})
 }
 
 // PushR pushes a stream-R tuple.
@@ -133,21 +122,23 @@ func (j *Join) PushR(key uint32) int { return j.Push(R, key) }
 func (j *Join) PushS(key uint32) int { return j.Push(S, key) }
 
 // Matches returns the total number of matches produced so far.
-func (j *Join) Matches() uint64 { return j.matches }
+func (j *Join) Matches() uint64 { return j.e.serialMatches.Load() }
 
 // Tuples returns the number of tuples pushed so far.
-func (j *Join) Tuples() uint64 { return j.tuples }
+func (j *Join) Tuples() uint64 { return j.e.tuples.Load() }
 
 // WindowCount returns the number of live tuples in a stream's window.
-func (j *Join) WindowCount(s StreamID) int { return j.eng.WindowCount(uint8(s)) }
+func (j *Join) WindowCount(s StreamID) int { return j.e.serial.WindowCount(uint8(s)) }
 
 // Merges reports how many index merges ran and their cumulative time.
-func (j *Join) Merges() (int, time.Duration) { return j.eng.Merges() }
+func (j *Join) Merges() (int, time.Duration) { return j.e.serial.Merges() }
 
-// Arrival is one tuple arrival for the batch-parallel driver.
+// Arrival is one tuple arrival for the batch drivers and Engine.PushBatch.
+// TS is the event timestamp, read only by the time-window modes.
 type Arrival struct {
 	Stream StreamID
 	Key    uint32
+	TS     uint64
 }
 
 // ParallelOptions configures the multicore shared-index join (Section 4 of
@@ -159,8 +150,12 @@ type ParallelOptions struct {
 	WindowS  int
 	Self     bool
 	Diff     uint32
-	// UseBwTree switches the shared index from PIM-Tree to the Bw-Tree
-	// baseline.
+	// Backend selects the shared index. The shared-index runtime supports
+	// PIMTree (the default) and BwTree; anything else fails with an error
+	// wrapping ErrUnsupportedBackend.
+	Backend Backend
+	// UseBwTree is the historical form of Backend: BwTree. It is honored
+	// when Backend is left at its default.
 	UseBwTree bool
 	// BlockingMerge disables the non-blocking two-phase merge.
 	BlockingMerge bool
@@ -194,61 +189,52 @@ type RunStats struct {
 	MaxObservedDisorder uint64
 }
 
-// RunParallel executes the parallel shared-index band join over a batch of
-// arrivals and returns its statistics. Matches are propagated to OnMatch in
-// arrival order.
-func RunParallel(arrivals []Arrival, o ParallelOptions) (RunStats, error) {
-	if o.WindowR <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
-	}
-	if !o.Self && o.WindowS <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
-	}
-	mergeRatio := o.Index.MergeRatio
-	if mergeRatio == 0 {
-		mergeRatio = 1 // Figure 9a: m=1 is best under concurrency
-	}
-	cfg := join.SharedConfig{
-		Threads:       o.Threads,
-		TaskSize:      o.TaskSize,
-		WR:            o.WindowR,
-		WS:            o.WindowS,
-		Self:          o.Self,
-		Band:          join.Band{Diff: o.Diff},
-		Index:         join.IndexPIMTree,
-		BlockingMerge: o.BlockingMerge,
-		PIM: core.PIMTreeConfig{
-			MergeRatio:     mergeRatio,
-			InsertionDepth: o.Index.InsertionDepth,
-		},
-	}
-	if o.UseBwTree {
-		cfg.Index = join.IndexBwTree
-	}
-	if o.OnMatch != nil {
-		cb := o.OnMatch
-		cfg.Sink = func(s uint8, probe, match uint64) {
-			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
+// runBatch is the shared tail of every batch wrapper: push the whole input
+// through an engine sized to it and close.
+func runBatch(cfg Config, arrivals []Arrival) (RunStats, error) {
+	if cfg.QueueCapacity <= 0 {
+		// Size the in-flight ring to the input so the single batch push
+		// never blocks — the memory shape of a dedicated batch run.
+		cfg.QueueCapacity = len(arrivals)
+		if cfg.QueueCapacity == 0 {
+			cfg.QueueCapacity = 1
 		}
 	}
-	if o.RecordLatency {
-		cfg.Latency = metrics.NewLatencyRecorder(1<<16, 4)
+	e, err := Open(cfg)
+	if err != nil {
+		return RunStats{}, err
 	}
-	in := make([]stream.Arrival, len(arrivals))
-	for i, a := range arrivals {
-		in[i] = stream.Arrival{Stream: uint8(a.Stream), Key: a.Key}
+	if err := e.PushBatch(arrivals); err != nil {
+		// Reject without leaking the session (strict-mode disorder).
+		e.Close(context.Background())
+		return RunStats{}, err
 	}
-	st := join.RunShared(in, cfg)
-	return RunStats{
-		Tuples:     st.Tuples,
-		Matches:    st.Matches,
-		Elapsed:    st.Elapsed,
-		Mtps:       st.Mtps(),
-		Merges:     st.Merges,
-		MergeTime:  st.MergeTime,
-		MeanMicros: st.Latency.MeanMicros,
-		P99Micros:  st.Latency.P99Micros,
-	}, nil
+	return e.Close(context.Background())
+}
+
+// RunParallel executes the parallel shared-index band join over a batch of
+// arrivals and returns its statistics — a compatibility wrapper over Engine
+// in ModeShared. Matches are propagated to OnMatch in arrival order.
+func RunParallel(arrivals []Arrival, o ParallelOptions) (RunStats, error) {
+	be := o.Backend
+	if be == PIMTree && o.UseBwTree {
+		be = BwTree
+	}
+	return runBatch(Config{
+		Mode:           ModeShared,
+		WindowR:        o.WindowR,
+		WindowS:        o.WindowS,
+		Self:           o.Self,
+		Diff:           o.Diff,
+		Backend:        be,
+		Threads:        o.Threads,
+		TaskSize:       o.TaskSize,
+		BlockingMerge:  o.BlockingMerge,
+		RecordLatency:  o.RecordLatency,
+		Index:          o.Index,
+		OnMatch:        o.OnMatch,
+		DiscardMatches: o.OnMatch == nil,
+	}, arrivals)
 }
 
 // Partitioner maps join keys to shards for the sharded runtime.
@@ -335,68 +321,27 @@ type ShardedOptions struct {
 }
 
 // RunSharded executes the key-range sharded parallel band join over a batch
-// of arrivals: tuples are routed to Shards independent single-writer join
-// instances through batched per-shard queues, band probes fan out to every
-// shard whose range intersects [key-Diff, key+Diff], and an
-// order-preserving merge stage re-sequences matches into global arrival
-// order. It produces the identical match multiset as the single-threaded
-// Join on the same input.
+// of arrivals — a compatibility wrapper over Engine in ModeSharded: tuples
+// are routed to Shards independent single-writer join instances through
+// batched per-shard queues, band probes fan out to every shard whose range
+// intersects [key-Diff, key+Diff], and an order-preserving merge stage
+// re-sequences matches into global arrival order. It produces the identical
+// match multiset as the single-threaded Join on the same input.
 func RunSharded(arrivals []Arrival, o ShardedOptions) (RunStats, error) {
-	if o.WindowR <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: WindowR %d must be positive", o.WindowR)
-	}
-	if !o.Self && o.WindowS <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: WindowS %d must be positive", o.WindowS)
-	}
-	kind := o.Backend.kind()
-	if kind == join.IndexChainB || kind == join.IndexChainIB {
-		return RunStats{}, fmt.Errorf("pimtree: sharded runtime does not support the %v backend", o.Backend)
-	}
-	shards := o.Shards
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	cfg := shard.Config{
-		Shards:    shards,
-		BatchSize: o.BatchSize,
-		WR:        o.WindowR,
-		WS:        o.WindowS,
-		Self:      o.Self,
-		Band:      join.Band{Diff: o.Diff},
-		Index:     kind,
-		IM:        core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
-		PIM: core.PIMTreeConfig{
-			MergeRatio:     o.Index.MergeRatio,
-			InsertionDepth: o.Index.InsertionDepth,
-		},
-		Part:     o.Partitioner,
-		Adaptive: o.Adaptive,
-		Rebalance: shard.Policy{
-			MaxRatio:   o.Rebalance.MaxRatio,
-			MinGap:     o.Rebalance.MinGap,
-			SampleSize: o.Rebalance.SampleSize,
-			ForceEvery: o.Rebalance.ForceEvery,
-		},
-	}
-	if o.OnMatch != nil {
-		cb := o.OnMatch
-		cfg.Sink = func(s uint8, probe, match uint64) {
-			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
-		}
-	}
-	in := make([]stream.Arrival, len(arrivals))
-	for i, a := range arrivals {
-		in[i] = stream.Arrival{Stream: uint8(a.Stream), Key: a.Key}
-	}
-	st := shard.Run(in, cfg)
-	return RunStats{
-		Tuples:         st.Tuples,
-		Matches:        st.Matches,
-		Elapsed:        st.Elapsed,
-		Mtps:           st.Mtps(),
-		Merges:         st.Merges,
-		MergeTime:      st.MergeTime,
-		Rebalances:     st.Rebalances,
-		MigratedTuples: st.Migrated,
-	}, nil
+	return runBatch(Config{
+		Mode:           ModeSharded,
+		WindowR:        o.WindowR,
+		WindowS:        o.WindowS,
+		Self:           o.Self,
+		Diff:           o.Diff,
+		Backend:        o.Backend,
+		Index:          o.Index,
+		Shards:         o.Shards,
+		BatchSize:      o.BatchSize,
+		Partitioner:    o.Partitioner,
+		Adaptive:       o.Adaptive,
+		Rebalance:      o.Rebalance,
+		OnMatch:        o.OnMatch,
+		DiscardMatches: o.OnMatch == nil,
+	}, arrivals)
 }

@@ -2,12 +2,8 @@ package pimtree
 
 import (
 	"fmt"
-	"runtime"
 
-	"pimtree/internal/core"
-	"pimtree/internal/join"
 	"pimtree/internal/ooo"
-	"pimtree/internal/shard"
 )
 
 // LatePolicy selects how the time-based joins treat tuples that arrive later
@@ -154,72 +150,34 @@ type ShardedTimeOptions struct {
 }
 
 // RunShardedTime executes the key-range sharded time-window band join over a
-// batch of timed arrivals: the router reorders event-time disorder within
-// Slack (per LatePolicy), routes each admitted tuple's probe to every shard
-// whose range intersects [key-Diff, key+Diff] and its insert to the key's
-// owner shard, and the order-preserving merge stage re-sequences matches
-// into admission order. For any input with disorder within Slack it produces
-// the identical match multiset as pushing the timestamp-sorted input through
-// the serial TimeJoin.
+// batch of timed arrivals — a compatibility wrapper over Engine in
+// ModeShardedTime: the router reorders event-time disorder within Slack (per
+// LatePolicy), routes each admitted tuple's probe to every shard whose range
+// intersects [key-Diff, key+Diff] and its insert to the key's owner shard,
+// and the order-preserving merge stage re-sequences matches into admission
+// order. For any input with disorder within Slack it produces the identical
+// match multiset as pushing the timestamp-sorted input through the serial
+// TimeJoin.
 func RunShardedTime(arrivals []TimedArrival, o ShardedTimeOptions) (RunStats, error) {
-	if o.Span == 0 {
-		return RunStats{}, fmt.Errorf("pimtree: Span must be positive")
-	}
-	if o.MaxLive <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: MaxLive must be positive")
-	}
-	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
-		return RunStats{}, err
-	}
-	kind := o.Backend.kind()
-	if kind == join.IndexChainB || kind == join.IndexChainIB {
-		return RunStats{}, fmt.Errorf("pimtree: sharded runtime does not support the %v backend", o.Backend)
-	}
-	if o.LatePolicy == LateNone && !timedSorted(arrivals) {
-		return RunStats{}, fmt.Errorf("pimtree: arrivals are not timestamp-ordered; set a LatePolicy (and Slack) to enable out-of-order ingestion")
-	}
-	shards := o.Shards
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	cfg := shard.Config{
-		Timed:     true,
-		Span:      o.Span,
-		MaxLive:   o.MaxLive,
-		Shards:    shards,
-		BatchSize: o.BatchSize,
-		Self:      o.Self,
-		Band:      join.Band{Diff: o.Diff},
-		Index:     kind,
-		IM:        core.IMTreeConfig{MergeRatio: o.Index.MergeRatio},
-		PIM: core.PIMTreeConfig{
-			MergeRatio:     o.Index.MergeRatio,
-			InsertionDepth: o.Index.InsertionDepth,
-		},
-		Part:   o.Partitioner,
-		Slack:  o.Slack,
-		Late:   o.LatePolicy.oooPolicy(),
-		OnLate: oooLateAdapter(o.OnLate),
-	}
-	if o.OnMatch != nil {
-		cb := o.OnMatch
-		cfg.Sink = func(s uint8, probe, match uint64) {
-			cb(Match{ProbeStream: StreamID(s), ProbeSeq: probe, MatchSeq: match})
-		}
-	}
-	in := make([]join.TimedArrival, len(arrivals))
+	in := make([]Arrival, len(arrivals))
 	for i, a := range arrivals {
-		in[i] = join.TimedArrival{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}
+		in[i] = Arrival{Stream: a.Stream, Key: a.Key, TS: a.TS}
 	}
-	st := shard.RunTimed(in, cfg)
-	return RunStats{
-		Tuples:              st.Tuples,
-		Matches:             st.Matches,
-		Elapsed:             st.Elapsed,
-		Mtps:                st.Mtps(),
-		Merges:              st.Merges,
-		MergeTime:           st.MergeTime,
-		LateDropped:         st.LateDropped,
-		MaxObservedDisorder: st.MaxDisorder,
-	}, nil
+	return runBatch(Config{
+		Mode:           ModeShardedTime,
+		Span:           o.Span,
+		MaxLive:        o.MaxLive,
+		Self:           o.Self,
+		Diff:           o.Diff,
+		Backend:        o.Backend,
+		Index:          o.Index,
+		Shards:         o.Shards,
+		BatchSize:      o.BatchSize,
+		Partitioner:    o.Partitioner,
+		Slack:          o.Slack,
+		LatePolicy:     o.LatePolicy,
+		OnLate:         o.OnLate,
+		OnMatch:        o.OnMatch,
+		DiscardMatches: o.OnMatch == nil,
+	}, in)
 }

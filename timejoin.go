@@ -1,8 +1,6 @@
 package pimtree
 
 import (
-	"fmt"
-
 	"pimtree/internal/btree"
 	"pimtree/internal/core"
 	"pimtree/internal/join"
@@ -56,8 +54,8 @@ type TimeJoin struct {
 
 // NewTimeJoin builds an incremental time-based join operator.
 func NewTimeJoin(o TimeJoinOptions) (*TimeJoin, error) {
-	if o.Span == 0 {
-		return nil, fmt.Errorf("pimtree: time window span must be positive")
+	if err := validateTimeWindow(o.Span, 0, false); err != nil {
+		return nil, err
 	}
 	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
 		return nil, err
@@ -266,11 +264,8 @@ type ParallelTimeOptions struct {
 // Arrivals must be timestamp-ordered unless a LatePolicy enables
 // out-of-order ingestion.
 func RunParallelTime(arrivals []TimedArrival, o ParallelTimeOptions) (RunStats, error) {
-	if o.Span == 0 {
-		return RunStats{}, fmt.Errorf("pimtree: Span must be positive")
-	}
-	if o.MaxLive <= 0 {
-		return RunStats{}, fmt.Errorf("pimtree: MaxLive must be positive")
+	if err := validateTimeWindow(o.Span, o.MaxLive, true); err != nil {
+		return RunStats{}, err
 	}
 	if err := validateLate(o.LatePolicy, o.Slack, o.OnLate); err != nil {
 		return RunStats{}, err
@@ -281,7 +276,7 @@ func RunParallelTime(arrivals []TimedArrival, o ParallelTimeOptions) (RunStats, 
 		// sequence, so workers never observe a regressed timestamp.
 		arrivals, lateDropped, maxDisorder = reorderTimed(arrivals, o.Slack, o.LatePolicy, o.OnLate)
 	} else if !timedSorted(arrivals) {
-		return RunStats{}, fmt.Errorf("pimtree: arrivals are not timestamp-ordered; set a LatePolicy (and Slack) to enable out-of-order ingestion")
+		return RunStats{}, errNotSorted()
 	}
 	mergeRatio := o.Index.MergeRatio
 	if mergeRatio == 0 {

@@ -12,7 +12,10 @@ func TestReadArrivalsCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Arrival{{R, 10}, {S, 20}, {R, 30}, {S, 40}, {R, 50}}
+	want := []Arrival{
+		{Stream: R, Key: 10}, {Stream: S, Key: 20}, {Stream: R, Key: 30},
+		{Stream: S, Key: 40}, {Stream: R, Key: 50},
+	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d arrivals, want %d", len(got), len(want))
 	}
