@@ -17,6 +17,15 @@
 //
 //	pimtrace -n 100000 | pimjoin -stdin -w 4096 -emit
 //	tail -f arrivals.csv | pimjoin -stdin -w 65536 -mode sharded -stats-every 100000
+//
+// The serve subcommand exposes the same long-lived engine over the network:
+// a TCP listener speaking the length-prefixed binary ingest/egress protocol
+// (wire spec in docs/OPERATIONS.md) and an optional HTTP admin endpoint
+// with /stats, /metrics (Prometheus), and /healthz. SIGINT/SIGTERM drains
+// the engine gracefully before exiting:
+//
+//	pimjoin serve -addr :9040 -admin :9041 -w 65536 -mode sharded
+//	pimjoin serve -addr :9040 -mode sharded-time -span 2000000000 -maxlive 65536 -slack 50000000
 package main
 
 import (
@@ -26,7 +35,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pimtree"
@@ -37,6 +48,11 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runServe(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("pimjoin", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -298,8 +314,7 @@ func runStream(cfg pimtree.Config, in io.Reader, out, errw io.Writer, emit bool,
 		}
 		pushed++
 		if statsEvery > 0 && pushed%statsEvery == 0 {
-			st := e.Stats()
-			fmt.Fprintf(errw, "pimjoin: %d tuples, %d matches, %.3f Mtps\n", st.Tuples, st.Matches, st.Mtps)
+			fmt.Fprintln(errw, "pimjoin:", statsLine(e))
 		}
 	}
 	if err := sc.Err(); err != nil {

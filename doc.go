@@ -78,10 +78,25 @@
 // TimestampArrivals/ShuffleWithinSlack turn any of them into sorted or
 // bounded-disorder event-time workloads.
 //
+// # Serving over the network
+//
+// The engine also runs as a network service: internal/server wraps a
+// long-lived Engine behind a length-prefixed binary TCP protocol (batched
+// ingest, match egress to subscribers with bounded per-consumer queues, and
+// drain round-trips) plus an HTTP admin endpoint exposing /stats, /metrics
+// (Prometheus text format), and /healthz, surfaced on the command line as
+// `pimjoin serve` with graceful SIGTERM drain. Engine.ShardLoads and the
+// live RunStats fields (Rebalances, MigratedTuples, Imbalance) make the
+// adaptive sharded layer observable mid-stream, both from Stats and from
+// the admin endpoint. The wire-protocol specification, shutdown semantics,
+// and the metric reference live in docs/OPERATIONS.md; docs/TUNING.md maps
+// workload shape to Mode/Backend/Shards/QueueCapacity/Slack choices.
+//
 // The repository also contains the full evaluation harness: cmd/pimbench
 // regenerates every figure of the paper's evaluation section plus the
-// repository's own ablations, including the engine-overhead and
-// sharded-vs-shared runtime comparisons (see docs/ARCHITECTURE.md for the
-// paper-to-package map), and cmd/pimjoin runs ad-hoc joins — batch or
-// stdin-streamed through a live Engine — from the command line.
+// repository's own ablations, including the engine-overhead,
+// sharded-vs-shared, and serving-layer wire-overhead comparisons (see
+// docs/ARCHITECTURE.md for the paper-to-package map), and cmd/pimjoin runs
+// ad-hoc joins — batch, stdin-streamed, or network-served through a live
+// Engine — from the command line.
 package pimtree

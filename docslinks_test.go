@@ -1,0 +1,67 @@
+package pimtree
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRe matches inline markdown links/images: [text](target).
+var mdLinkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks keeps the documentation cross-references from rotting: every
+// relative link in the repository's markdown (README, docs/OPERATIONS,
+// docs/TUNING, docs/ARCHITECTURE, ...) must point at a file or directory
+// that exists. External URLs, pure anchors, and links escaping the
+// repository root (GitHub UI paths like ../../actions/...) are skipped. CI
+// runs this as its docs-link checker step.
+func TestDocsLinks(t *testing.T) {
+	root, err := os.Getwd() // the package dir is the repository root
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(filepath.Join(root, glob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found only %d markdown files — glob broken?", len(files))
+	}
+	checked := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop anchors
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Clean(filepath.Join(filepath.Dir(f), target))
+			if rel, err := filepath.Rel(root, resolved); err != nil || strings.HasPrefix(rel, "..") {
+				continue // outside the repository (e.g. GitHub UI paths)
+			}
+			checked++
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, f)
+				t.Errorf("%s: broken link %q (resolved %s)", rel, m[1], resolved)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked — extraction broken?")
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(files))
+}

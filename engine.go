@@ -584,10 +584,12 @@ func (e *Engine) Matches() iter.Seq[Match] {
 // Stats returns a live snapshot: tuples admitted by the runtime (in
 // ModeShardedTime this excludes tuples still buffered for reordering or
 // dropped as late, matching the accounting Close finalizes), matches
-// propagated so far (trailing pushes by the in-flight tuples), and wall
-// time since Open. The maintenance counters (Merges, Rebalances, late
-// accounting, latency) are finalized by Close; after Close, Stats returns
-// the final statistics.
+// propagated so far (trailing pushes by the in-flight tuples), wall time
+// since Open, and — in the sharded modes — the adaptive layer's progress
+// (Rebalances, MigratedTuples, Imbalance), so the rebalancer is observable
+// mid-stream, not only after Close. The remaining maintenance counters
+// (Merges, late accounting, latency) are finalized by Close; after Close,
+// Stats returns the final statistics. Safe from any goroutine.
 func (e *Engine) Stats() RunStats {
 	if e.state.Load() == stateClosed {
 		return e.final
@@ -603,10 +605,56 @@ func (e *Engine) Stats() RunStats {
 	default:
 		st.Tuples = e.router.Tuples()
 		st.Matches = e.router.Matches()
+		st.Rebalances = e.router.Rebalances()
+		st.MigratedTuples = e.router.Migrated()
+		st.Imbalance = shardImbalance(e.router.LoadSnapshot())
 	}
 	st.Elapsed = time.Since(e.start)
 	st.Mtps = metrics.Mtps(st.Tuples, st.Elapsed)
 	return st
+}
+
+// ShardLoads returns each shard's live load snapshot in the sharded modes
+// (nil elsewhere): inserts and probe fan-ins routed since the last rebalance
+// epoch (populated only under adaptive rebalancing), pending queue depth,
+// and resident window size. Safe from any goroutine; the snapshot is weakly
+// consistent across shards.
+func (e *Engine) ShardLoads() []ShardLoad {
+	if e.router == nil {
+		return nil
+	}
+	snap := e.router.LoadSnapshot()
+	out := make([]ShardLoad, len(snap))
+	for i, s := range snap {
+		out[i] = ShardLoad{Inserts: s.Inserts, Probes: s.Probes, QueueDepth: s.QueueDepth, Resident: s.Resident}
+	}
+	return out
+}
+
+// EmitsMatches reports whether the session materializes individual matches —
+// false when opened with Config.DiscardMatches, in which case Matches yields
+// nothing and only the match count is maintained. The serving layer consults
+// it to reject match subscriptions a discarding engine could never satisfy.
+func (e *Engine) EmitsMatches() bool { return e.pull != nil }
+
+// shardImbalance folds a shard load snapshot into the single imbalance
+// ratio exposed by RunStats: over routed ops when the adaptive accounting is
+// live, otherwise over resident window tuples (always maintained).
+func shardImbalance(snap []shard.ShardLoad) float64 {
+	routed := make([]uint64, len(snap))
+	resident := make([]uint64, len(snap))
+	anyRouted := false
+	for i, s := range snap {
+		routed[i] = s.Inserts + s.Probes
+		if routed[i] > 0 {
+			anyRouted = true
+		}
+		resident[i] = uint64(s.Resident)
+	}
+	if anyRouted {
+		return metrics.Imbalance(routed)
+	}
+	return metrics.Imbalance(resident)
 }
 
 // Drain flushes the session to a deterministic quiescent point and blocks
@@ -721,7 +769,7 @@ func (e *Engine) finish(st join.Stats) RunStats {
 	if elapsed == 0 {
 		elapsed = time.Since(e.start)
 	}
-	return RunStats{
+	rs := RunStats{
 		Tuples:              st.Tuples,
 		Matches:             st.Matches,
 		Elapsed:             elapsed,
@@ -735,6 +783,10 @@ func (e *Engine) finish(st join.Stats) RunStats {
 		LateDropped:         st.LateDropped,
 		MaxObservedDisorder: st.MaxDisorder,
 	}
+	if e.router != nil {
+		rs.Imbalance = shardImbalance(e.router.LoadSnapshot())
+	}
+	return rs
 }
 
 // matchQueue is the unbounded FIFO behind the pull side. Producers

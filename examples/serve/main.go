@@ -1,0 +1,189 @@
+// Serve: the network serving layer end to end — a pimtree engine behind
+// the binary wire protocol, driven by the minimal Go client: binary ingest
+// in, match egress out, a drain round-trip, an admin /stats scrape, and a
+// graceful shutdown. With no flags the server runs in-process on a loopback
+// port and the received match stream is verified against a direct
+// Engine.PushBatch run of the same input; with -addr it acts as a pure
+// loopback client against an already-running `pimjoin serve` (the CI smoke
+// job drives it that way).
+//
+// Run with:
+//
+//	go run ./examples/serve
+//	pimjoin serve -addr :9040 -admin :9041 -w 4096 &
+//	go run ./examples/serve -addr 127.0.0.1:9040 -admin 127.0.0.1:9041 -n 50000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "", "connect to an existing pimjoin serve at this address (empty: run an in-process server)")
+		admin = flag.String("admin", "", "scrape this admin endpoint's /stats after draining (host:port)")
+		n     = flag.Int("n", 100_000, "tuples to push")
+		w     = flag.Int("w", 4096, "window length (in-process server only)")
+	)
+	flag.Parse()
+	diff := pimtree.DiffForMatchRate(*w, 2)
+	arrivals := pimtree.Interleave(1, pimtree.UniformSource(2), pimtree.UniformSource(3), 0.5, *n)
+
+	var srv *server.Server
+	target := *addr
+	if target == "" {
+		// In-process server: the same wiring `pimjoin serve` performs.
+		eng, err := pimtree.Open(pimtree.Config{
+			Mode:    pimtree.ModeSharded,
+			WindowR: *w, WindowS: *w, Diff: diff,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = server.New(eng, server.Options{Addr: "127.0.0.1:0", AdminAddr: "127.0.0.1:0", Slow: server.Block})
+		if err != nil {
+			log.Fatal(err)
+		}
+		target = srv.Addr().String()
+		fmt.Printf("serve: in-process server on %s (admin http://%s)\n", target, srv.AdminAddr())
+	}
+
+	// The client half: subscribe for match egress and consume the stream
+	// concurrently with pushing — the real subscriber pattern, which keeps
+	// the per-subscriber queue shallow — then drain: the acknowledgement
+	// arrives after every match the pushed tuples produced.
+	c, err := server.Dial(target, server.DialOptions{Subscribe: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	collected := make(chan []pimtree.Match, 1)
+	go func() {
+		var ms []pimtree.Match
+		for {
+			ev, err := c.ReadEvent()
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch ev.Type {
+			case server.FrameMatch:
+				ms = append(ms, ev.Matches...)
+			case server.FrameDrained:
+				collected <- ms
+				return
+			case server.FrameError:
+				log.Fatalf("server error: %s", ev.Err)
+			}
+		}
+	}()
+	start := time.Now()
+	const batch = 512
+	for lo := 0; lo < len(arrivals); lo += batch {
+		hi := min(lo+batch, len(arrivals))
+		if err := c.PushBatch(arrivals[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	matches := <-collected
+	elapsed := time.Since(start)
+	fmt.Printf("serve: pushed %d tuples, received %d matches over the wire in %v (%.3f Mtps)\n",
+		len(arrivals), len(matches), elapsed.Round(time.Millisecond),
+		float64(len(arrivals))/elapsed.Seconds()/1e6)
+
+	if *admin != "" {
+		scrapeStats("http://" + *admin)
+	}
+
+	if srv == nil {
+		return // client-only mode: the server keeps running
+	}
+	if srv.AdminAddr() != nil {
+		scrapeStats("http://" + srv.AdminAddr().String())
+	}
+
+	// Verify the wire path against the in-process oracle: the served match
+	// multiset must be exactly what a direct PushBatch run produces.
+	direct := directMatches(pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: *w, WindowS: *w, Diff: diff,
+	}, arrivals)
+	if !sameMultiset(matches, direct) {
+		fmt.Printf("serve: MISMATCH — wire %d matches, direct %d\n", len(matches), len(direct))
+		os.Exit(1)
+	}
+	fmt.Printf("serve: wire match multiset identical to direct PushBatch (%d matches)\n", len(direct))
+
+	st, err := srv.Shutdown(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serve: graceful shutdown — final %d tuples, %d matches\n", st.Tuples, st.Matches)
+}
+
+// scrapeStats prints the admin endpoint's JSON snapshot.
+func scrapeStats(base string) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serve: /stats →\n%s", body)
+}
+
+// directMatches replays the arrivals through a bare engine.
+func directMatches(cfg pimtree.Config, arrivals []pimtree.Arrival) []pimtree.Match {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := e.Matches()
+	out := make(chan []pimtree.Match, 1)
+	go func() {
+		var ms []pimtree.Match
+		for m := range seq {
+			ms = append(ms, m)
+		}
+		out <- ms
+	}()
+	if err := e.PushBatch(arrivals); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Close(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	return <-out
+}
+
+func sameMultiset(a, b []pimtree.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[pimtree.Match]int, len(a))
+	for _, m := range a {
+		seen[m]++
+	}
+	for _, m := range b {
+		if seen[m] == 0 {
+			return false
+		}
+		seen[m]--
+	}
+	return true
+}

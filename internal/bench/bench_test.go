@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-sharded", "abl-shardbatch", "abl-shardskew", "abl-adaptive",
 		"abl-ooo",
 		"abl-engine",
+		"abl-serve",
 		"model",
 	}
 	for _, id := range want {

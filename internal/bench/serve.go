@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"log"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/metrics"
+	"pimtree/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-serve",
+		Title: "ablation: network serving layer loopback wire overhead vs direct PushBatch (Mtps)",
+		Run:   runAblServe,
+	})
+}
+
+// runAblServe quantifies what the serving layer costs over feeding the
+// engine in-process: the same sharded session driven by direct PushBatch
+// chunks versus by a loopback TCP client speaking the binary wire protocol
+// (encode, frame, kernel round-trip, decode, and the single-producer ingest
+// queue), swept over the client batch size. Both paths run match-discarding
+// engines and end at a drained quiescent point, so the ratio is pure wire
+// and scheduling overhead.
+func runAblServe(cfg Config, out io.Writer) {
+	w := 1 << 14
+	if cfg.Scale == Quick {
+		w = 1 << 12
+	} else if cfg.Scale == Paper {
+		w = 1 << 17
+	}
+	header(out, "abl-serve", "loopback serving overhead at w="+wLabel(w))
+	row(out, "batch", "direct", "served")
+	n := cfg.tuplesFor(w)
+	diff := pimtree.DiffForMatchRate(w, 2)
+	arr := make([]pimtree.Arrival, n)
+	for i, a := range twoWay(n, cfg.seed()) {
+		arr[i] = pimtree.Arrival{Stream: pimtree.StreamID(a.Stream), Key: a.Key}
+	}
+	base := pimtree.Config{
+		Mode:    pimtree.ModeSharded,
+		WindowR: w, WindowS: w, Diff: diff,
+		Shards:         cfg.threads(),
+		DiscardMatches: true,
+	}
+	for _, batch := range []int{64, 1024} {
+		row(out, batch, driveEngine(base, arr, batch), driveServed(base, arr, batch))
+	}
+}
+
+// driveServed runs one served session over the arrivals: a loopback server
+// wrapping the engine, a client pushing chunked ingest frames, and a final
+// drain round-trip. Throughput is measured from the first push to the drain
+// acknowledgement — the served analogue of driveEngine's session Mtps.
+func driveServed(cfg pimtree.Config, arr []pimtree.Arrival, chunk int) float64 {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(e, server.Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := server.Dial(srv.Addr().String(), server.DialOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for lo := 0; lo < len(arr); lo += chunk {
+		hi := lo + chunk
+		if hi > len(arr) {
+			hi = len(arr)
+		}
+		if err := c.PushBatch(arr[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := c.DrainWait(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	c.Close()
+	if _, err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	return metrics.Mtps(len(arr), elapsed)
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled writer for the Prometheus text exposition
+// format (version 0.0.4) — the /metrics side of the serving layer. The
+// repository deliberately has no dependencies beyond the standard library,
+// so the tiny subset of the format the server needs (gauge and counter
+// families, optional labels, HELP/TYPE comments, correct escaping) is
+// implemented here rather than imported.
+
+// A PromSample is one sample line of a metric family: an optional label set
+// and a value.
+type PromSample struct {
+	// Labels are name/value pairs, emitted in slice order. Label names must
+	// be valid Prometheus label names; values are escaped by the writer.
+	Labels [][2]string
+	Value  float64
+}
+
+// A PromFamily is one metric family: a name, a HELP line, a TYPE (gauge or
+// counter), and its samples. A family with no samples is skipped entirely.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // "gauge" or "counter"
+	Samples []PromSample
+}
+
+// Gauge builds a single-sample unlabeled gauge family.
+func Gauge(name, help string, v float64) PromFamily {
+	return PromFamily{Name: name, Help: help, Type: "gauge", Samples: []PromSample{{Value: v}}}
+}
+
+// Counter builds a single-sample unlabeled counter family.
+func Counter(name, help string, v float64) PromFamily {
+	return PromFamily{Name: name, Help: help, Type: "counter", Samples: []PromSample{{Value: v}}}
+}
+
+// WriteProm writes the families in Prometheus text exposition format. Sample
+// values use the shortest round-trippable float encoding; +Inf/-Inf/NaN are
+// emitted with the spelling the format requires.
+func WriteProm(w io.Writer, families []PromFamily) error {
+	for _, f := range families {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := io.WriteString(w, f.Name); err != nil {
+				return err
+			}
+			if len(s.Labels) > 0 {
+				if err := writeLabels(w, s.Labels); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, " %s\n", formatPromValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeLabels(w io.Writer, labels [][2]string) error {
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w, `%s%s="%s"`, sep, l[0], escapeLabel(l[1])); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatPromValue renders a sample value. The exposition format requires
+// Go-style float literals plus the spellings +Inf, -Inf, and NaN.
+func formatPromValue(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "NaN"
+	case v > 0 && v*2 == v: // +Inf
+		return "+Inf"
+	case v < 0 && v*2 == v: // -Inf
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	var b strings.Builder
+	err := WriteProm(&b, []PromFamily{
+		Counter("app_tuples_total", "Tuples ingested.", 12345),
+		Gauge("app_mtps", "Throughput in million tuples/s.", 1.25),
+		{
+			Name: "app_shard_resident",
+			Help: `Resident tuples ("live") per shard` + "\nsecond line \\ here",
+			Type: "gauge",
+			Samples: []PromSample{
+				{Labels: [][2]string{{"shard", "0"}}, Value: 7},
+				{Labels: [][2]string{{"shard", "1"}, {"mode", `odd"mode\x`}}, Value: 0},
+			},
+		},
+		{Name: "app_empty", Help: "skipped entirely", Type: "gauge"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := []string{
+		"# HELP app_tuples_total Tuples ingested.\n",
+		"# TYPE app_tuples_total counter\n",
+		"app_tuples_total 12345\n",
+		"# TYPE app_mtps gauge\n",
+		"app_mtps 1.25\n",
+		`# HELP app_shard_resident Resident tuples ("live") per shard\nsecond line \\ here` + "\n",
+		`app_shard_resident{shard="0"} 7` + "\n",
+		`app_shard_resident{shard="1",mode="odd\"mode\\x"} 0` + "\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q\nfull output:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "app_empty") {
+		t.Errorf("family with no samples must be skipped:\n%s", out)
+	}
+}
+
+// TestWritePromLineValidity checks every emitted line against the text
+// exposition grammar: either a HELP/TYPE comment or a sample line.
+func TestWritePromLineValidity(t *testing.T) {
+	var b strings.Builder
+	err := WriteProm(&b, []PromFamily{
+		Gauge("a_b_c", "h", math.Inf(1)),
+		Gauge("d_e", "", math.Inf(-1)),
+		Counter("f_total", "nan case", math.NaN()),
+		{Name: "g", Type: "gauge", Samples: []PromSample{{Labels: [][2]string{{"l", "v"}}, Value: -2.5e9}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]Inf|[0-9eE.+-]+)$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if !sample.MatchString(line) && !comment.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"pimtree"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	frames := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{FrameHello, encodeHello(1, FlagSubscribe)},
+		{FrameDrain, nil},
+		{FrameError, []byte("boom")},
+		{FrameIngest, encodeArrivals([]pimtree.Arrival{{Stream: pimtree.R, Key: 42}}, false)},
+	}
+	for _, f := range frames {
+		if err := writeFrame(&b, f.typ, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range frames {
+		typ, payload, err := readFrame(&b, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != f.typ || !bytes.Equal(payload, f.payload) {
+			t.Fatalf("frame %d: got (%s, %x), want (%s, %x)", i, frameName(typ), payload, frameName(f.typ), f.payload)
+		}
+	}
+	if _, _, err := readFrame(&b, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedPayload(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeFrame(&b, FrameIngest, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := readFrame(&b, 99)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("got %v, want payload-limit error", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeFrame(&b, FrameMatch, make([]byte, recMatch)); err != nil {
+		t.Fatal(err)
+	}
+	full := b.Bytes()
+	for _, cut := range []int{1, headerLen - 1, headerLen + 3} {
+		_, _, err := readFrame(bytes.NewReader(full[:cut]), DefaultMaxFrame)
+		if err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestArrivalCodecRoundTrip(t *testing.T) {
+	in := []pimtree.Arrival{
+		{Stream: pimtree.R, Key: 0},
+		{Stream: pimtree.S, Key: 1<<32 - 1, TS: 1<<64 - 1},
+		{Stream: pimtree.R, Key: 123456, TS: 42},
+	}
+	for _, timed := range []bool{false, true} {
+		out, err := decodeArrivals(encodeArrivals(in, timed), timed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("timed=%v: got %d arrivals, want %d", timed, len(out), len(in))
+		}
+		for i := range in {
+			want := in[i]
+			if !timed {
+				want.TS = 0
+			}
+			if out[i] != want {
+				t.Errorf("timed=%v arrival %d: got %+v, want %+v", timed, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestArrivalCodecRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		timed   bool
+		want    string
+	}{
+		{"short count record", make([]byte, recCount-1), false, "not a multiple"},
+		{"count payload on timed conn", encodeArrivals([]pimtree.Arrival{{Key: 1}}, false), true, "not a multiple"},
+		{"invalid stream id", []byte{7, 0, 0, 0, 1}, false, "invalid stream id"},
+	}
+	for _, tc := range cases {
+		_, err := decodeArrivals(tc.payload, tc.timed)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMatchCodecRoundTrip(t *testing.T) {
+	in := []pimtree.Match{
+		{ProbeStream: pimtree.R, ProbeSeq: 0, MatchSeq: 7},
+		{ProbeStream: pimtree.S, ProbeSeq: 1<<64 - 2, MatchSeq: 9},
+	}
+	var buf []byte
+	for _, m := range in {
+		buf = appendMatch(buf, m)
+	}
+	out, err := decodeMatches(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d matches, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("match %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := decodeMatches(buf[:recMatch+3]); err == nil {
+		t.Error("truncated match payload must be rejected")
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	v, f, err := decodeHello(encodeHello(ProtocolVersion, FlagSubscribe|FlagTimed))
+	if err != nil || v != ProtocolVersion || f != FlagSubscribe|FlagTimed {
+		t.Fatalf("got (%d, %#x, %v)", v, f, err)
+	}
+	if _, _, err := decodeHello([]byte{1}); err == nil {
+		t.Error("short hello payload must be rejected")
+	}
+}

@@ -1,0 +1,723 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/metrics"
+)
+
+// SlowPolicy selects what the match fan-out does when a subscriber's
+// bounded queue is full — the serving-layer analogue of the Engine's
+// QueueCapacity backpressure.
+type SlowPolicy int
+
+const (
+	// DropNewest (the default) drops the match for that subscriber and
+	// counts it in MatchesDropped: one slow consumer never stalls ingest or
+	// the other subscribers. Matches that are delivered stay in propagation
+	// order.
+	DropNewest SlowPolicy = iota
+	// Block makes the fan-out wait for queue space: no match is ever
+	// dropped, but a stalled subscriber stalls match delivery to everyone.
+	// Ingest is NOT stalled — the engine's pull-side match buffer is
+	// unbounded by design, so while a blocking subscriber is wedged,
+	// propagated matches accumulate in process memory. Use Block only for
+	// subscribers trusted to keep reading; DropNewest is the safe default
+	// for untrusted consumers.
+	Block
+)
+
+// String names the policy.
+func (p SlowPolicy) String() string {
+	if p == Block {
+		return "block"
+	}
+	return "drop"
+}
+
+// Options configures Serve.
+type Options struct {
+	// Addr is the TCP listen address of the binary ingest/egress protocol
+	// (required; host:port, port 0 picks an ephemeral port).
+	Addr string
+	// AdminAddr is the HTTP admin listen address serving /stats, /metrics,
+	// and /healthz. Empty disables the admin endpoint.
+	AdminAddr string
+	// SubscriberQueue bounds each subscriber's outbound match queue
+	// (default 1024 matches). See SlowPolicy for what happens when it fills.
+	SubscriberQueue int
+	// Slow is the slow-subscriber policy (default DropNewest).
+	Slow SlowPolicy
+	// MaxFrame bounds accepted frame payloads in bytes (default
+	// DefaultMaxFrame).
+	MaxFrame int
+	// IngestQueue bounds decoded ingest batches in flight between the
+	// connection readers and the engine producer goroutine (default 64
+	// batches). Together with the engine's QueueCapacity this is what turns
+	// engine backpressure into TCP backpressure.
+	IngestQueue int
+	// Logf, when set, receives server lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SubscriberQueue <= 0 {
+		o.SubscriberQueue = 1024
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.IngestQueue <= 0 {
+		o.IngestQueue = 64
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// ServeStats is a snapshot of the server-side counters (the engine's own
+// statistics live in pimtree.RunStats, scraped separately).
+type ServeStats struct {
+	Connections      int    // currently open protocol connections
+	Subscribers      int    // connections subscribed to match egress
+	IngestFrames     uint64 // ingest frames accepted
+	IngestTuples     uint64 // tuples pushed into the engine
+	MatchesDelivered uint64 // matches handed to subscriber queues
+	MatchesDropped   uint64 // matches dropped by the DropNewest policy
+	ProtocolErrors   uint64 // connections failed for protocol violations
+	Draining         bool   // shutdown in progress
+}
+
+var errDraining = errors.New("server is draining")
+
+// ingestReq is one unit of work for the engine producer goroutine: a
+// decoded arrival batch, or a drain request.
+type ingestReq struct {
+	c     *conn
+	batch []pimtree.Arrival
+	drain bool
+}
+
+// Server wraps one long-lived Engine behind the wire protocol. All pushes
+// from all connections are serialized through a single producer goroutine
+// (the Engine's contract), and one fan-out goroutine consumes the engine's
+// pull-side match iterator into per-subscriber bounded queues.
+type Server struct {
+	opts   Options
+	eng    *pimtree.Engine
+	timed  bool
+	fanout bool // engine materializes matches (subscriptions possible)
+
+	ln      net.Listener
+	adminLn net.Listener
+	admin   *http.Server
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	subsList atomic.Pointer[[]*conn]
+
+	ingest        chan ingestReq
+	ingestMu      sync.RWMutex
+	ingestStopped bool
+	ingestDone    chan struct{}
+	fanoutDone    chan struct{}
+
+	// delivered counts matches consumed from the engine's pull iterator
+	// (delivered to every subscriber queue or dropped by policy); drain
+	// acknowledgements wait on it so FrameDrained is ordered after the
+	// matches it covers. delBase is the engine's match count at New — the
+	// fan-out never sees matches propagated before the iterator was armed,
+	// so drain targets are measured relative to it. Same lost-wakeup-free
+	// waiter pattern as the runtimes' backpressure: the waiter increments
+	// delWaiters under the mutex before re-checking, the fan-out loads it
+	// after storing.
+	delivered  atomic.Uint64
+	delBase    uint64
+	delMu      sync.Mutex
+	delCond    *sync.Cond
+	delWaiters atomic.Int32
+
+	ingestFrames     atomic.Uint64
+	ingestTuples     atomic.Uint64
+	matchesDelivered atomic.Uint64
+	matchesDropped   atomic.Uint64
+	protoErrs        atomic.Uint64
+	draining         atomic.Bool
+
+	acceptDone chan struct{}
+	readerWg   sync.WaitGroup
+	writerWg   sync.WaitGroup
+
+	shutOnce   sync.Once
+	shutDone   chan struct{}
+	finalStats pimtree.RunStats
+	finalErr   error
+}
+
+// New starts a server over the engine: it arms the engine's match iterator
+// (before any network ingest, so no match can escape the fan-out), binds
+// the protocol listener (and the admin listener when configured), and
+// starts the accept, producer, and fan-out loops. The server owns the
+// engine from here on: Shutdown closes it and returns its final RunStats.
+func New(e *pimtree.Engine, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Addr == "" {
+		return nil, errors.New("server: Options.Addr is required")
+	}
+	s := &Server{
+		opts:       opts,
+		eng:        e,
+		timed:      e.Mode() == pimtree.ModeShardedTime,
+		fanout:     e.EmitsMatches(),
+		conns:      make(map[*conn]struct{}),
+		ingest:     make(chan ingestReq, opts.IngestQueue),
+		ingestDone: make(chan struct{}),
+		fanoutDone: make(chan struct{}),
+		acceptDone: make(chan struct{}),
+		shutDone:   make(chan struct{}),
+	}
+	s.delCond = sync.NewCond(&s.delMu)
+
+	// Arm the pull side before the listener exists: matches propagated for
+	// the very first network push must already be collected. The server is
+	// the engine's single producer from here on, so the match count cannot
+	// move between arming and the baseline snapshot; matches a previous
+	// owner already produced are excluded from drain targets (the fan-out
+	// will never see them).
+	var matchSeq func(func(pimtree.Match) bool)
+	if s.fanout {
+		matchSeq = e.Matches()
+		s.delBase = e.Stats().Matches
+	}
+
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", opts.Addr, err)
+	}
+	s.ln = ln
+	if opts.AdminAddr != "" {
+		adminLn, err := net.Listen("tcp", opts.AdminAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: admin listen %s: %w", opts.AdminAddr, err)
+		}
+		s.adminLn = adminLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/stats", s.handleStats)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		s.admin = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := s.admin.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.opts.Logf("server: admin: %v", err)
+			}
+		}()
+	}
+
+	go s.ingestLoop()
+	if s.fanout {
+		go s.fanoutLoop(matchSeq)
+	} else {
+		close(s.fanoutDone)
+	}
+	go s.acceptLoop()
+	s.opts.Logf("server: serving on %s (admin %s, mode %s, slow-subscriber policy %s)",
+		s.Addr(), opts.AdminAddr, e.Mode(), opts.Slow)
+	return s, nil
+}
+
+// Addr returns the protocol listener's address (useful with port 0).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AdminAddr returns the admin listener's address, or nil when disabled.
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// Engine returns the wrapped engine (live Stats/ShardLoads scraping).
+func (s *Server) Engine() *pimtree.Engine { return s.eng }
+
+// Stats returns a snapshot of the server-side counters.
+func (s *Server) Stats() ServeStats {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	subs := 0
+	if l := s.subsList.Load(); l != nil {
+		subs = len(*l)
+	}
+	return ServeStats{
+		Connections:      conns,
+		Subscribers:      subs,
+		IngestFrames:     s.ingestFrames.Load(),
+		IngestTuples:     s.ingestTuples.Load(),
+		MatchesDelivered: s.matchesDelivered.Load(),
+		MatchesDropped:   s.matchesDropped.Load(),
+		ProtocolErrors:   s.protoErrs.Load(),
+		Draining:         s.draining.Load(),
+	}
+}
+
+// acceptLoop admits protocol connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept errors (e.g. EMFILE) must not spin the loop.
+			s.opts.Logf("server: accept: %v", err)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.readerWg.Add(1)
+		s.writerWg.Add(1)
+		go c.reader()
+		go c.writer()
+	}
+}
+
+// submit hands one ingest request to the producer goroutine, blocking while
+// the ingest queue is full (TCP backpressure). It fails once shutdown has
+// stopped ingestion or the connection is closed.
+func (s *Server) submit(req ingestReq) error {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	if s.ingestStopped {
+		return errDraining
+	}
+	select {
+	case s.ingest <- req:
+		return nil
+	case <-req.c.done:
+		return net.ErrClosed
+	}
+}
+
+// ingestLoop is the engine's single producer: it applies decoded batches
+// and drain requests in submission order until shutdown closes the queue.
+func (s *Server) ingestLoop() {
+	defer close(s.ingestDone)
+	for req := range s.ingest {
+		if req.c.failed.Load() {
+			// The connection already died on an error: applying batches it
+			// pipelined past the failure point would silently ingest data
+			// with a gap where the rejected batch was.
+			continue
+		}
+		if req.drain {
+			s.handleDrain(req.c)
+			continue
+		}
+		if err := s.eng.PushBatch(req.batch); err != nil {
+			if errors.Is(err, pimtree.ErrClosed) || errors.Is(err, pimtree.ErrAborted) {
+				continue // shutdown raced the push; the batch is not joined
+			}
+			// Engine-level rejection (e.g. strict-mode disorder): the
+			// offending connection dies, the engine and every other
+			// connection keep running. failed is set here, synchronously,
+			// so batches this connection pipelined behind the rejected one
+			// are discarded by the guard above; the abort itself can wait
+			// on a slow writer, so it must not run on the producer
+			// goroutine.
+			req.c.failed.Store(true)
+			go req.c.abort(err.Error())
+			continue
+		}
+		s.ingestTuples.Add(uint64(len(req.batch)))
+	}
+}
+
+// handleDrain services one FrameDrain. Only the engine drain itself runs
+// on the producer goroutine (the Engine API's single-producer contract);
+// the wait for fan-out delivery and the acknowledgement are spawned off it,
+// because under the Block policy a wedged subscriber can stall delivery
+// indefinitely — that must stall drain acknowledgements, never ingest.
+func (s *Server) handleDrain(c *conn) {
+	if err := s.eng.Drain(context.Background()); err != nil {
+		go c.abort(fmt.Sprintf("drain: %v", err))
+		return
+	}
+	target := s.eng.Stats().Matches - s.delBase
+	go func() {
+		if err := s.waitDelivered(context.Background(), target); err != nil {
+			c.abort(fmt.Sprintf("drain: %v", err))
+			return
+		}
+		// The acknowledgement enters the connection's outbound queue after
+		// the matches the drain covers, so the client sees them first.
+		c.send(outItem{typ: FrameDrained})
+	}()
+}
+
+// waitDelivered blocks until the fan-out has consumed at least target
+// matches from the engine's pull iterator.
+func (s *Server) waitDelivered(ctx context.Context, target uint64) error {
+	if !s.fanout {
+		return nil
+	}
+	stop := context.AfterFunc(ctx, func() { s.delCond.Broadcast() })
+	defer stop()
+	s.delMu.Lock()
+	defer s.delMu.Unlock()
+	s.delWaiters.Add(1)
+	defer s.delWaiters.Add(-1)
+	for s.delivered.Load() < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.delCond.Wait()
+	}
+	return nil
+}
+
+// fanoutLoop is the single consumer of the engine's pull side: every match
+// is offered to every subscriber's bounded queue under the slow-subscriber
+// policy. It exits when the engine closes (after the buffered remainder is
+// consumed — nothing propagated before Close is ever lost to the queues).
+func (s *Server) fanoutLoop(matches func(func(pimtree.Match) bool)) {
+	defer close(s.fanoutDone)
+	block := s.opts.Slow == Block
+	for m := range matches {
+		if l := s.subsList.Load(); l != nil {
+			for _, c := range *l {
+				if c.deliver(m, block) {
+					s.matchesDelivered.Add(1)
+				} else {
+					s.matchesDropped.Add(1)
+				}
+			}
+		}
+		s.delivered.Add(1)
+		if s.delWaiters.Load() > 0 {
+			s.delMu.Lock()
+			s.delCond.Broadcast()
+			s.delMu.Unlock()
+		}
+	}
+	// Late drain waiters must not hang on a closed engine.
+	s.delMu.Lock()
+	s.delivered.Store(^uint64(0))
+	s.delCond.Broadcast()
+	s.delMu.Unlock()
+}
+
+// addSub registers a connection for match egress.
+func (s *Server) addSub(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildSubsLocked(c, true)
+}
+
+// removeConn unregisters a connection entirely.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+	if c.subscribed.Load() {
+		s.rebuildSubsLocked(c, false)
+	}
+}
+
+func (s *Server) rebuildSubsLocked(c *conn, add bool) {
+	var cur []*conn
+	if l := s.subsList.Load(); l != nil {
+		cur = *l
+	}
+	next := make([]*conn, 0, len(cur)+1)
+	for _, o := range cur {
+		if o != c {
+			next = append(next, o)
+		}
+	}
+	if add {
+		next = append(next, c)
+	}
+	s.subsList.Store(&next)
+}
+
+// Shutdown gracefully drains and tears the server down: stop accepting,
+// stop new ingest but apply everything already queued, close the engine
+// (which flushes reorder buffers, pending shard batches, and rebalance
+// epochs), deliver every remaining match to the subscriber queues, flush
+// and close every connection, and finally stop the admin endpoint (it stays
+// observable throughout the drain). Returns the engine's final statistics.
+//
+// If ctx is done before the drain completes, Shutdown abandons the
+// remaining graceful steps, hard-closes everything, and returns the
+// context's error alongside whatever statistics the engine reported.
+// Shutdown is idempotent; concurrent calls all return the first outcome.
+func (s *Server) Shutdown(ctx context.Context) (pimtree.RunStats, error) {
+	s.shutOnce.Do(func() {
+		s.finalStats, s.finalErr = s.shutdown(ctx)
+		close(s.shutDone)
+	})
+	<-s.shutDone
+	return s.finalStats, s.finalErr
+}
+
+func (s *Server) shutdown(ctx context.Context) (pimtree.RunStats, error) {
+	s.draining.Store(true)
+	s.ln.Close()
+	<-s.acceptDone
+
+	// Stop new ingest; the producer drains what is already queued.
+	s.ingestMu.Lock()
+	s.ingestStopped = true
+	close(s.ingest)
+	s.ingestMu.Unlock()
+	if err := waitCtx(ctx, s.ingestDone); err != nil {
+		return s.hardClose(err)
+	}
+
+	// Close the engine: every queued tuple joins, the pull iterator ends,
+	// and the fan-out finishes handing the remainder to subscriber queues.
+	st, err := s.eng.Close(ctx)
+	if err != nil && !errors.Is(err, pimtree.ErrClosed) {
+		hst, herr := s.hardClose(err)
+		if hst == (pimtree.RunStats{}) {
+			hst = st
+		}
+		return hst, herr
+	}
+	if werr := waitCtx(ctx, s.fanoutDone); werr != nil {
+		hst, herr := s.hardClose(werr)
+		if hst == (pimtree.RunStats{}) {
+			hst = st
+		}
+		return hst, herr
+	}
+
+	// Flush subscriber queues: writers drain their outbound items, then the
+	// connections close (subscribers see a clean EOF after the last match).
+	s.mu.Lock()
+	open := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	for _, c := range open {
+		c.closeGraceful()
+	}
+	writersIdle := make(chan struct{})
+	go func() { s.writerWg.Wait(); close(writersIdle) }()
+	werr := waitCtx(ctx, writersIdle)
+	for _, c := range open {
+		c.close()
+	}
+	readersIdle := make(chan struct{})
+	go func() { s.readerWg.Wait(); close(readersIdle) }()
+	if werr == nil {
+		werr = waitCtx(ctx, readersIdle)
+	}
+
+	if s.admin != nil {
+		actx := ctx
+		if actx.Err() != nil {
+			actx = context.Background()
+		}
+		s.admin.Shutdown(actx)
+	}
+	s.opts.Logf("server: drained (%d tuples, %d matches)", st.Tuples, st.Matches)
+	return st, werr
+}
+
+// hardClose is the abandoned-shutdown path: close every connection and the
+// admin endpoint immediately. The engine teardown is deferred to a
+// background goroutine gated on the producer loop exiting — Close from
+// this goroutine while ingestLoop may still be inside PushBatch/Drain
+// would violate the engine's single-producer contract. The final
+// statistics are lost, as with an abandoned Engine.Close.
+func (s *Server) hardClose(cause error) (pimtree.RunStats, error) {
+	s.mu.Lock()
+	open := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	for _, c := range open {
+		c.close()
+	}
+	if s.admin != nil {
+		s.admin.Close()
+	}
+	go func() {
+		// The ingest queue is already closed (every hardClose call site is
+		// past that point), and closing the connections above unwedges any
+		// drain stalled on a blocking subscriber, so the producer loop does
+		// exit and the close runs.
+		<-s.ingestDone
+		s.eng.Close(context.Background())
+	}()
+	return pimtree.RunStats{}, cause
+}
+
+// waitCtx waits for ch or the context, whichever first.
+func waitCtx(ctx context.Context, ch <-chan struct{}) error {
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		// Both may be ready; a wait that actually completed is a success.
+		select {
+		case <-ch:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
+}
+
+// --- admin endpoint ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// shardJSON mirrors pimtree.ShardLoad with stable JSON names.
+type shardJSON struct {
+	Inserts    uint64 `json:"inserts"`
+	Probes     uint64 `json:"probes"`
+	QueueDepth int    `json:"queue_depth"`
+	Resident   int    `json:"resident"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	sv := s.Stats()
+	var shards []shardJSON
+	for _, l := range s.eng.ShardLoads() {
+		shards = append(shards, shardJSON{Inserts: l.Inserts, Probes: l.Probes, QueueDepth: l.QueueDepth, Resident: l.Resident})
+	}
+	payload := struct {
+		Mode                string      `json:"mode"`
+		Tuples              int         `json:"tuples"`
+		Matches             uint64      `json:"matches"`
+		ElapsedSeconds      float64     `json:"elapsed_seconds"`
+		Mtps                float64     `json:"mtps"`
+		Rebalances          int         `json:"rebalances"`
+		MigratedTuples      int         `json:"migrated_tuples"`
+		LateDropped         uint64      `json:"late_dropped"`
+		MaxObservedDisorder uint64      `json:"max_observed_disorder"`
+		Imbalance           float64     `json:"imbalance"`
+		Shards              []shardJSON `json:"shards,omitempty"`
+		Server              struct {
+			Connections      int    `json:"connections"`
+			Subscribers      int    `json:"subscribers"`
+			IngestFrames     uint64 `json:"ingest_frames"`
+			IngestTuples     uint64 `json:"ingest_tuples"`
+			MatchesDelivered uint64 `json:"matches_delivered"`
+			MatchesDropped   uint64 `json:"matches_dropped"`
+			ProtocolErrors   uint64 `json:"protocol_errors"`
+			Draining         bool   `json:"draining"`
+		} `json:"server"`
+	}{
+		Mode:                s.eng.Mode().String(),
+		Tuples:              st.Tuples,
+		Matches:             st.Matches,
+		ElapsedSeconds:      st.Elapsed.Seconds(),
+		Mtps:                st.Mtps,
+		Rebalances:          st.Rebalances,
+		MigratedTuples:      st.MigratedTuples,
+		LateDropped:         st.LateDropped,
+		MaxObservedDisorder: st.MaxObservedDisorder,
+		Imbalance:           st.Imbalance,
+		Shards:              shards,
+	}
+	payload.Server.Connections = sv.Connections
+	payload.Server.Subscribers = sv.Subscribers
+	payload.Server.IngestFrames = sv.IngestFrames
+	payload.Server.IngestTuples = sv.IngestTuples
+	payload.Server.MatchesDelivered = sv.MatchesDelivered
+	payload.Server.MatchesDropped = sv.MatchesDropped
+	payload.Server.ProtocolErrors = sv.ProtocolErrors
+	payload.Server.Draining = sv.Draining
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WriteProm(w, s.promFamilies())
+}
+
+// promFamilies builds the /metrics exposition. Every family here is
+// documented in docs/OPERATIONS.md; keep the two in sync.
+func (s *Server) promFamilies() []metrics.PromFamily {
+	st := s.eng.Stats()
+	sv := s.Stats()
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	fams := []metrics.PromFamily{
+		metrics.Counter("pimtree_engine_tuples_total", "Tuples admitted by the engine runtime.", float64(st.Tuples)),
+		metrics.Counter("pimtree_engine_matches_total", "Matches propagated in arrival order.", float64(st.Matches)),
+		metrics.Gauge("pimtree_engine_uptime_seconds", "Wall time since the engine session opened.", st.Elapsed.Seconds()),
+		metrics.Gauge("pimtree_engine_throughput_mtps", "Session-average throughput in million tuples per second.", st.Mtps),
+		metrics.Counter("pimtree_engine_rebalances_total", "Completed adaptive rebalance epochs.", float64(st.Rebalances)),
+		metrics.Counter("pimtree_engine_migrated_tuples_total", "Window tuples moved between shards by rebalancing.", float64(st.MigratedTuples)),
+		metrics.Counter("pimtree_engine_late_dropped_total", "Tuples later than Slack dropped by the reorder buffer.", float64(st.LateDropped)),
+		metrics.Gauge("pimtree_engine_max_observed_disorder", "Largest observed event-time lateness in timestamp units.", float64(st.MaxObservedDisorder)),
+		metrics.Gauge("pimtree_engine_shard_imbalance", "Load-imbalance ratio max(shard)/mean(shard); 0 when unsharded or idle.", st.Imbalance),
+	}
+	if loads := s.eng.ShardLoads(); len(loads) > 0 {
+		ins := metrics.PromFamily{Name: "pimtree_shard_inserts_total", Help: "Tuple inserts routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}
+		prb := metrics.PromFamily{Name: "pimtree_shard_probes_total", Help: "Probe fan-ins routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}
+		qd := metrics.PromFamily{Name: "pimtree_shard_queue_depth", Help: "Op batches pending in the shard's queue.", Type: "gauge"}
+		res := metrics.PromFamily{Name: "pimtree_shard_resident_tuples", Help: "Tuples currently resident in the shard's windows.", Type: "gauge"}
+		for i, l := range loads {
+			lbl := [][2]string{{"shard", strconv.Itoa(i)}}
+			ins.Samples = append(ins.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Inserts)})
+			prb.Samples = append(prb.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Probes)})
+			qd.Samples = append(qd.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.QueueDepth)})
+			res.Samples = append(res.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Resident)})
+		}
+		fams = append(fams, ins, prb, qd, res)
+	}
+	fams = append(fams,
+		metrics.Gauge("pimtree_server_connections", "Open protocol connections.", float64(sv.Connections)),
+		metrics.Gauge("pimtree_server_subscribers", "Connections subscribed to match egress.", float64(sv.Subscribers)),
+		metrics.Counter("pimtree_server_ingest_frames_total", "Ingest frames accepted.", float64(sv.IngestFrames)),
+		metrics.Counter("pimtree_server_ingest_tuples_total", "Tuples pushed into the engine over the wire.", float64(sv.IngestTuples)),
+		metrics.Counter("pimtree_server_matches_delivered_total", "Matches handed to subscriber queues.", float64(sv.MatchesDelivered)),
+		metrics.Counter("pimtree_server_matches_dropped_total", "Matches dropped by the DropNewest slow-subscriber policy.", float64(sv.MatchesDropped)),
+		metrics.Counter("pimtree_server_protocol_errors_total", "Connections failed for protocol violations.", float64(sv.ProtocolErrors)),
+		metrics.Gauge("pimtree_server_draining", "1 while a graceful shutdown is in progress.", b(sv.Draining)),
+	)
+	return fams
+}

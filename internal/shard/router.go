@@ -164,9 +164,9 @@ type Router struct {
 	reb     *rebalancer
 	pol     Policy
 	barrier sync.WaitGroup
-	lastReb int // arrival index of the last rebalance epoch
-	epochs  int // completed rebalance epochs
-	moved   int // tuples that changed shards across all epochs
+	lastReb int          // arrival index of the last rebalance epoch
+	epochs  atomic.Int64 // completed rebalance epochs (read live by Stats scrapers)
+	moved   atomic.Int64 // tuples that changed shards across all epochs
 
 	// Timed-mode admission: the reorder buffer in front of routing. Nil for
 	// count windows.
@@ -465,9 +465,9 @@ func (r *Router) rebalance() {
 			wms[slot] = r.heads[slot] - r.wlen[slot]
 		}
 	}
-	r.moved += migrate(r.engines, r.cfg, part, wms)
+	r.moved.Add(int64(migrate(r.engines, r.cfg, part, wms)))
 	r.part = part
-	r.epochs++
+	r.epochs.Add(1)
 	r.stats.reset()
 }
 
@@ -502,16 +502,20 @@ func (r *Router) Drain() {
 	r.propagate()
 }
 
-// Rebalances returns how many rebalance epochs have completed.
-func (r *Router) Rebalances() int { return r.epochs }
+// Rebalances returns how many rebalance epochs have completed. Safe from
+// any goroutine (the serving layer scrapes it live).
+func (r *Router) Rebalances() int { return int(r.epochs.Load()) }
 
 // Migrated returns how many window tuples changed shards across all epochs.
-func (r *Router) Migrated() int { return r.moved }
+// Safe from any goroutine.
+func (r *Router) Migrated() int { return int(r.moved.Load()) }
 
 // LoadSnapshot returns each shard's current load accounting: ops routed
 // since the last rebalance epoch (zero unless Adaptive — static runs skip
-// the accounting), pending queue depth, and resident window size. Safe to
-// call between Pushes.
+// the accounting), pending queue depth, and resident window size. Every
+// field is read from an atomic (or a channel length), so the snapshot is
+// safe from any goroutine while pushes are in flight; it is weakly
+// consistent across shards, which is all a load monitor needs.
 func (r *Router) LoadSnapshot() []ShardLoad {
 	out := make([]ShardLoad, len(r.engines))
 	for s := range out {
@@ -600,7 +604,7 @@ func (r *Router) Close() join.Stats {
 	}
 	r.wg.Wait()
 	r.propagate()
-	st := join.Stats{Tuples: r.n, Matches: r.matches, Rebalances: r.epochs, Migrated: r.moved}
+	st := join.Stats{Tuples: r.n, Matches: r.matches, Rebalances: int(r.epochs.Load()), Migrated: int(r.moved.Load())}
 	if r.reorder != nil {
 		st.LateDropped = r.reorder.LateDropped()
 		st.MaxDisorder = r.reorder.MaxDisorder()

@@ -187,6 +187,24 @@ type RunStats struct {
 	// ingestion ran in strict LateNone mode).
 	LateDropped         uint64
 	MaxObservedDisorder uint64
+	// Imbalance is the sharded modes' load-imbalance ratio,
+	// max(shard load)/mean(shard load): 1 is perfectly balanced, the shard
+	// count means all load on one shard, 0 means no load yet (or a
+	// non-sharded mode). Adaptive runs measure it over ops routed since the
+	// last rebalance epoch; static runs over resident window tuples.
+	Imbalance float64
+}
+
+// ShardLoad is one shard's live load snapshot, returned by Engine.ShardLoads
+// in the sharded modes. Inserts and Probes count ops routed since the last
+// rebalance epoch and are populated only when adaptive rebalancing is
+// enabled (static runs skip the accounting); QueueDepth and Resident are
+// always live.
+type ShardLoad struct {
+	Inserts    uint64 // tuple inserts routed since the last rebalance epoch
+	Probes     uint64 // probe fan-ins routed since the last rebalance epoch
+	QueueDepth int    // op batches pending in the shard's queue
+	Resident   int    // tuples currently stored by the shard (both streams)
 }
 
 // runBatch is the shared tail of every batch wrapper: push the whole input
