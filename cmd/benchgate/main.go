@@ -1,16 +1,31 @@
-// Command benchgate compares two pimbench JSON reports (see pimbench -json)
-// and fails when throughput regressed beyond a threshold — the comparator
-// behind CI's bench-smoke job and the committed BENCH_*.json baselines.
+// Command benchgate compares two pimbench JSON reports (see pimbench -json,
+// pimload -json) and fails on regressions — the comparator behind CI's
+// bench-smoke and pimload-smoke jobs and the committed BENCH_*.json
+// baselines.
 //
 //	benchgate -baseline BENCH_PR2.json -current bench_current.json
+//	benchgate -baseline LOAD_BASE.json -current load.json -prefix load- -max-lat-regress 0.5
 //
-// For every gated experiment (by default the abl-* ablations, whose numeric
-// columns are all Mtps), benchgate computes the geometric mean of the
-// throughput cells present in both reports and fails if the current geomean
-// falls more than -max-regress below the baseline's. Reports carry a
-// host-speed calibration (a fixed serial microbenchmark measured at report
-// time); comparisons are scaled by the calibration ratio, so a baseline
-// recorded on a slower or faster machine than the CI runner stays usable.
+// Gating is direction-aware per cell. Every numeric cell of a gated
+// experiment is classified by its column name:
+//
+//   - counters (rebalances, migrated, sent, matches, ...) are never gated;
+//   - latency columns (µs, ms, latency, nanos fragments) are lower-is-better
+//     and fail on *increase* beyond -max-lat-regress;
+//   - everything else (Mtps throughput, offered/s, cap/s rates) is
+//     higher-is-better and fails on *decrease* beyond -max-regress.
+//
+// Latency gating is opt-in (-max-lat-regress 0 disables it, the default):
+// the latency columns of the closed-loop quick-scale ablations are
+// scheduling-noise dominated and would flake; open-loop pimload reports are
+// the intended gated consumer. Ungated latency cells are still reported.
+//
+// Each direction's cells are reduced to a geometric mean per experiment.
+// Reports carry a host-speed calibration (a fixed serial microbenchmark
+// measured at report time); comparisons are scaled by the calibration ratio
+// — inversely for latency, where a faster host is expected to be
+// proportionally lower — so a baseline recorded on a slower or faster
+// machine than the CI runner stays usable.
 package main
 
 import (
@@ -27,22 +42,44 @@ import (
 	"pimtree/internal/bench"
 )
 
-// nonThroughputColumns are numeric columns of gated experiments that do not
-// measure Mtps and must not enter the comparison: counters, and
-// lower-is-better latency columns (which would invert the regression
-// direction — a latency improvement would read as a throughput drop).
-var nonThroughputColumns = map[string]bool{
+// counterColumns are numeric columns that measure neither throughput nor
+// latency — event counts whose drift is not a regression in either
+// direction. They never enter a geomean.
+var counterColumns = map[string]bool{
 	"rebalances": true,
 	"migrated":   true,
 	"merges":     true,
-	"mean µs":    true,
-	"p99 µs":     true,
+	"sent":       true,
+	"matches":    true,
+	"trials":     true,
+	"errors":     true,
 }
 
-// nonThroughputSubstrings catches latency/time columns by fragment, so new
-// experiments whose units are microseconds or milliseconds stay out of the
-// throughput geomean without registering each column name here.
-var nonThroughputSubstrings = []string{"µs", "ms", "latency", "nanos"}
+// latencySubstrings classify lower-is-better time columns by fragment, so
+// new experiments whose units are microseconds or milliseconds gate in the
+// right direction without registering each column name here.
+var latencySubstrings = []string{"µs", "ms", "latency", "nanos"}
+
+// Cell directions.
+const (
+	dirSkip   = 0  // counters: never gated
+	dirHigher = 1  // throughput/rates: fail on decrease
+	dirLower  = -1 // latency: fail on increase
+)
+
+// direction classifies a column name.
+func direction(name string) int {
+	lower := strings.ToLower(name)
+	if counterColumns[lower] {
+		return dirSkip
+	}
+	for _, frag := range latencySubstrings {
+		if strings.Contains(lower, frag) {
+			return dirLower
+		}
+	}
+	return dirHigher
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -54,7 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		basePath  = fs.String("baseline", "", "baseline report (e.g. BENCH_PR2.json)")
 		curPath   = fs.String("current", "", "report of the run under test")
-		maxReg    = fs.Float64("max-regress", 0.25, "maximum tolerated throughput regression (fraction)")
+		maxReg    = fs.Float64("max-regress", 0.25, "maximum tolerated throughput decrease (fraction)")
+		maxLatReg = fs.Float64("max-lat-regress", 0, "maximum tolerated latency increase (fraction); 0 reports latency without gating it")
 		calibrate = fs.Bool("calibrate", true, "scale by the reports' host calibration ratio")
 		prefix    = fs.String("prefix", "abl-", "gate experiments whose id has this prefix")
 	)
@@ -80,8 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *calibrate && base.CalibMtps > 0 && cur.CalibMtps > 0 {
 		scale = cur.CalibMtps / base.CalibMtps
 	}
-	fmt.Fprintf(stdout, "benchgate: calibration baseline=%.3f current=%.3f scale=%.3f threshold=%.0f%%\n",
-		base.CalibMtps, cur.CalibMtps, scale, *maxReg*100)
+	fmt.Fprintf(stdout, "benchgate: calibration baseline=%.3f current=%.3f scale=%.3f threshold=%.0f%% lat-threshold=%.0f%%\n",
+		base.CalibMtps, cur.CalibMtps, scale, *maxReg*100, *maxLatReg*100)
 	if base.GOMAXPROCS != cur.GOMAXPROCS {
 		// The serial calibration corrects for single-thread speed, not core
 		// count, so parallel-scaling regressions are under-protected until
@@ -94,6 +132,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	curByID := make(map[string]bench.ExperimentResult, len(cur.Experiments))
 	for _, e := range cur.Experiments {
 		curByID[e.ID] = e
+	}
+
+	classes := []struct {
+		name   string
+		dir    int
+		thresh float64
+		gated  bool
+	}{
+		{"throughput", dirHigher, *maxReg, true},
+		{"latency", dirLower, *maxLatReg, *maxLatReg > 0},
 	}
 
 	failures := 0
@@ -109,29 +157,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failures++
 			continue
 		}
-		gBase, gCur, cells, dropped := compare(b.Table, c.Table)
-		if cells == 0 {
-			fmt.Fprintf(stdout, "FAIL %-16s no comparable throughput cells (refresh the baseline?)\n", b.ID)
-			failures++
-			continue
+		present := 0
+		for _, cl := range classes {
+			gBase, gCur, cells, dropped := compare(b.Table, c.Table, cl.dir)
+			if cells == 0 && len(dropped) == 0 {
+				continue // this experiment has no cells in this direction
+			}
+			present += cells
+			if !cl.gated {
+				if cells > 0 {
+					fmt.Fprintf(stdout, "info %-16s %s geomean %.4f -> %.4f over %d cells (not gated)\n",
+						b.ID, cl.name, gBase, gCur, cells)
+				}
+				continue
+			}
+			if cells == 0 {
+				fmt.Fprintf(stdout, "FAIL %-16s no comparable %s cells (refresh the baseline?)\n", b.ID, cl.name)
+				failures++
+				continue
+			}
+			// A cell present in the baseline but missing (or non-positive) in
+			// the current report would silently shrink the geomean — and a
+			// regression could hide in exactly the cells that vanished.
+			// Shrunken coverage is itself a failure.
+			if len(dropped) > 0 {
+				fmt.Fprintf(stdout, "FAIL %-16s %d of %d baseline %s cell(s) missing or non-positive in current report: %s\n",
+					b.ID, len(dropped), cells+len(dropped), cl.name, strings.Join(dropped, ", "))
+				failures++
+			}
+			var ratio float64
+			var verdict bool
+			if cl.dir == dirHigher {
+				ratio = gCur / (gBase * scale)
+				verdict = ratio >= 1-cl.thresh
+			} else {
+				// A faster host (scale > 1) should be proportionally lower.
+				ratio = gCur * scale / gBase
+				verdict = ratio <= 1+cl.thresh
+			}
+			status := "ok  "
+			if !verdict {
+				status = "FAIL"
+				failures++
+			}
+			note := ""
+			if cl.dir == dirLower {
+				note = ", lower is better"
+			}
+			fmt.Fprintf(stdout, "%s %-16s %s geomean %.4f -> %.4f over %d cells (%.0f%% of calibrated baseline%s)\n",
+				status, b.ID, cl.name, gBase, gCur, cells, ratio*100, note)
 		}
-		// A cell present in the baseline but missing (or non-positive) in
-		// the current report would silently shrink the geomean — and a
-		// regression could hide in exactly the cells that vanished. Shrunken
-		// coverage is itself a failure.
-		if len(dropped) > 0 {
-			fmt.Fprintf(stdout, "FAIL %-16s %d of %d baseline cell(s) missing or non-positive in current report: %s\n",
-				b.ID, len(dropped), cells+len(dropped), strings.Join(dropped, ", "))
+		if present == 0 {
+			fmt.Fprintf(stdout, "FAIL %-16s no comparable cells (refresh the baseline?)\n", b.ID)
 			failures++
 		}
-		ratio := gCur / (gBase * scale)
-		status := "ok  "
-		if ratio < 1-*maxReg {
-			status = "FAIL"
-			failures++
-		}
-		fmt.Fprintf(stdout, "%s %-16s geomean %.4f -> %.4f Mtps over %d cells (%.0f%% of calibrated baseline)\n",
-			status, b.ID, gBase, gCur, cells, ratio*100)
 	}
 	if gated == 0 {
 		fmt.Fprintf(stdout, "FAIL no experiments with prefix %q in baseline\n", *prefix)
@@ -145,13 +224,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// compare returns the geometric means of the throughput cells shared by the
-// two tables (matched by row label and column name), the shared-cell count,
-// and the sorted keys of baseline cells with no usable counterpart in the
-// current table — the caller fails the gate when coverage shrank.
-func compare(base, cur bench.Table) (gBase, gCur float64, cells int, dropped []string) {
-	bc := cellMap(base)
-	cc := cellMap(cur)
+// compare returns the geometric means of the dir-classified cells shared by
+// the two tables (matched by row label and column name), the shared-cell
+// count, and the sorted keys of baseline cells with no usable counterpart in
+// the current table — the caller fails the gate when coverage shrank.
+func compare(base, cur bench.Table, dir int) (gBase, gCur float64, cells int, dropped []string) {
+	bc := cellMap(base, dir)
+	cc := cellMap(cur, dir)
 	var sumB, sumC float64
 	for key, vb := range bc {
 		vc, ok := cc[key]
@@ -170,17 +249,17 @@ func compare(base, cur bench.Table) (gBase, gCur float64, cells int, dropped []s
 	return math.Exp(sumB / float64(cells)), math.Exp(sumC / float64(cells)), cells, dropped
 }
 
-// cellMap extracts the positive numeric throughput cells of a table, keyed
-// by "<row label>|<column name>". The first column is the row label;
-// known non-throughput columns are skipped.
-func cellMap(t bench.Table) map[string]float64 {
+// cellMap extracts a table's positive numeric cells whose column classifies
+// as dir, keyed by "<row label>|<column name>". The first column is the row
+// label.
+func cellMap(t bench.Table, dir int) map[string]float64 {
 	out := make(map[string]float64)
 	for _, row := range t.Rows {
 		if len(row) == 0 {
 			continue
 		}
 		for j := 1; j < len(row) && j < len(t.Columns); j++ {
-			if !isThroughputColumn(t.Columns[j]) {
+			if direction(t.Columns[j]) != dir {
 				continue
 			}
 			v, err := strconv.ParseFloat(row[j], 64)
@@ -191,21 +270,6 @@ func cellMap(t bench.Table) map[string]float64 {
 		}
 	}
 	return out
-}
-
-// isThroughputColumn reports whether a column measures Mtps (higher is
-// better) and may enter the gate's geomean.
-func isThroughputColumn(name string) bool {
-	lower := strings.ToLower(name)
-	if nonThroughputColumns[lower] {
-		return false
-	}
-	for _, frag := range nonThroughputSubstrings {
-		if strings.Contains(lower, frag) {
-			return false
-		}
-	}
-	return true
 }
 
 func load(path string) (*bench.Report, error) {

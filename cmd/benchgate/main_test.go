@@ -129,22 +129,58 @@ func TestGateUsageErrors(t *testing.T) {
 	}
 }
 
-func TestCellMapSkipsNonThroughput(t *testing.T) {
+func TestDirection(t *testing.T) {
+	cases := []struct {
+		col  string
+		want int
+	}{
+		{"Mtps", dirHigher},
+		{"sharded", dirHigher},
+		{"offered/s", dirHigher},
+		{"cap/s", dirHigher},
+		{"mean µs", dirLower},
+		{"p99 µs", dirLower},
+		{"p50 ms", dirLower},
+		{"p999 ms", dirLower},
+		{"lag p99 ms", dirLower},
+		{"tail latency", dirLower},
+		{"nanos/op", dirLower},
+		{"rebalances", dirSkip},
+		{"Rebalances", dirSkip},
+		{"migrated", dirSkip},
+		{"merges", dirSkip},
+		{"sent", dirSkip},
+		{"matches", dirSkip},
+		{"trials", dirSkip},
+		{"errors", dirSkip},
+	}
+	for _, tc := range cases {
+		if got := direction(tc.col); got != tc.want {
+			t.Errorf("direction(%q) = %d, want %d", tc.col, got, tc.want)
+		}
+	}
+}
+
+func TestCellMapSplitsByDirection(t *testing.T) {
 	m := cellMap(bench.Table{
 		Columns: []string{"workload", "Mtps", "rebalances"},
 		Rows:    [][]string{{"a", "1.5", "7"}, {"b", "zero", "-"}},
-	})
+	}, dirHigher)
 	if len(m) != 1 || m["a|Mtps"] != 1.5 {
 		t.Fatalf("cellMap = %v", m)
 	}
-	// Lower-is-better latency columns must stay out of the geomean: they
-	// would invert the regression direction (abl-edgescan's table shape).
-	m = cellMap(bench.Table{
+	// Lower-is-better latency columns must stay out of the throughput
+	// geomean: they would invert the regression direction (abl-edgescan's
+	// table shape) — they form their own direction instead.
+	tbl := bench.Table{
 		Columns: []string{"task", "Mtps", "mean µs", "p99 µs"},
 		Rows:    [][]string{{"8", "2.0", "100", "900"}},
-	})
-	if len(m) != 1 || m["8|Mtps"] != 2.0 {
-		t.Fatalf("latency columns leaked into gate: %v", m)
+	}
+	if m := cellMap(tbl, dirHigher); len(m) != 1 || m["8|Mtps"] != 2.0 {
+		t.Fatalf("latency columns leaked into throughput gate: %v", m)
+	}
+	if m := cellMap(tbl, dirLower); len(m) != 2 || m["8|mean µs"] != 100 || m["8|p99 µs"] != 900 {
+		t.Fatalf("latency cells = %v", m)
 	}
 }
 
@@ -179,6 +215,109 @@ func TestGateFailsOnNonPositiveCell(t *testing.T) {
 	code, out := gate(t, "-baseline", b, "-current", c)
 	if code != 1 || !strings.Contains(out, "gaussian|Mtps") {
 		t.Fatalf("non-positive cell passed or was not named (exit %d):\n%s", code, out)
+	}
+}
+
+// latencyReport builds a load-style report mixing a higher-is-better rate
+// column with lower-is-better latency quantiles and a skipped counter.
+func latencyReport(calib, offered, p50, p99 float64) bench.Report {
+	return bench.Report{
+		CalibMtps: calib,
+		Experiments: []bench.ExperimentResult{{
+			Table: bench.Table{
+				ID:      "load-constant",
+				Columns: []string{"scenario", "offered/s", "sent", "p50 ms", "p99 ms"},
+				Rows: [][]string{{
+					"constant",
+					fmt.Sprintf("%.1f", offered),
+					"12345",
+					fmt.Sprintf("%.4f", p50),
+					fmt.Sprintf("%.4f", p99),
+				}},
+			},
+		}},
+	}
+}
+
+func latencyGate(t *testing.T, base, cur bench.Report, extra ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", base)
+	c := writeReport(t, dir, "cur.json", cur)
+	args := append([]string{"-baseline", b, "-current", c, "-prefix", "load-"}, extra...)
+	return gate(t, args...)
+}
+
+// Latency cells gate in the opposite direction: an increase beyond the
+// threshold fails, a decrease (or an increase within it) passes.
+func TestGateLatencyDirection(t *testing.T) {
+	base := latencyReport(1.0, 50000, 2.0, 8.0)
+
+	if code, out := latencyGate(t, base, latencyReport(1.0, 50000, 6.0, 24.0), "-max-lat-regress", "0.5"); code != 1 ||
+		!strings.Contains(out, "FAIL load-constant    latency") {
+		t.Fatalf("3x latency increase passed (exit %d):\n%s", code, out)
+	}
+	if code, out := latencyGate(t, base, latencyReport(1.0, 50000, 1.0, 4.0), "-max-lat-regress", "0.5"); code != 0 {
+		t.Fatalf("latency improvement failed (exit %d):\n%s", code, out)
+	}
+	if code, out := latencyGate(t, base, latencyReport(1.0, 50000, 2.5, 10.0), "-max-lat-regress", "0.5"); code != 0 {
+		t.Fatalf("within-threshold latency increase failed (exit %d):\n%s", code, out)
+	}
+	// A throughput drop in the same experiment still fails independently of
+	// the healthy latency cells.
+	if code, out := latencyGate(t, base, latencyReport(1.0, 20000, 2.0, 8.0), "-max-lat-regress", "0.5"); code != 1 ||
+		!strings.Contains(out, "FAIL load-constant    throughput") {
+		t.Fatalf("offered/s drop passed (exit %d):\n%s", code, out)
+	}
+}
+
+// Without -max-lat-regress latency cells are reported but not gated — the
+// quick-scale closed-loop ablation latencies are too noisy to gate.
+func TestGateLatencyOptIn(t *testing.T) {
+	base := latencyReport(1.0, 50000, 2.0, 8.0)
+	code, out := latencyGate(t, base, latencyReport(1.0, 50000, 200.0, 800.0))
+	if code != 0 {
+		t.Fatalf("ungated latency increase failed the gate (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "info load-constant    latency") {
+		t.Fatalf("ungated latency not reported:\n%s", out)
+	}
+}
+
+// Calibration scales latency inversely: a half-speed host is allowed
+// proportionally higher latency, and a full-speed host claiming baseline
+// latency recorded on a much slower machine is held to the scaled bound.
+func TestGateLatencyCalibration(t *testing.T) {
+	base := latencyReport(2.0, 4.0, 2.0, 8.0)
+	// Half-speed host: half the rate, double the latency — proportional.
+	if code, out := latencyGate(t, base, latencyReport(1.0, 2.0, 4.0, 16.0), "-max-lat-regress", "0.5"); code != 0 {
+		t.Fatalf("calibrated half-speed host failed (exit %d):\n%s", code, out)
+	}
+	// Without calibration the doubled latency is a real regression.
+	if code, _ := latencyGate(t, base, latencyReport(1.0, 2.0, 4.0, 16.0), "-max-lat-regress", "0.5", "-calibrate=false"); code != 1 {
+		t.Fatal("uncalibrated doubled latency passed")
+	}
+}
+
+// A latency cell that vanished from the current report fails the gate when
+// latency is gated, exactly like a vanished throughput cell.
+func TestGateLatencyDroppedCell(t *testing.T) {
+	base := latencyReport(1.0, 50000, 2.0, 8.0)
+	cur := latencyReport(1.0, 50000, 2.0, 8.0)
+	cur.Experiments[0].Table.Rows[0][4] = "0.0000" // p99 ms hit zero
+	code, out := latencyGate(t, base, cur, "-max-lat-regress", "0.5")
+	if code != 1 || !strings.Contains(out, "constant|p99 ms") {
+		t.Fatalf("dropped latency cell passed or was not named (exit %d):\n%s", code, out)
+	}
+}
+
+// A pimload report must round-trip through the gate against itself — the
+// shape CI's pimload-smoke job relies on.
+func TestGateLoadReportSelfRoundTrip(t *testing.T) {
+	rep := latencyReport(1.3, 48000, 1.5, 6.0)
+	code, out := latencyGate(t, rep, rep, "-max-lat-regress", "0.25")
+	if code != 0 || !strings.Contains(out, "pass") {
+		t.Fatalf("self-comparison failed (exit %d):\n%s", code, out)
 	}
 }
 

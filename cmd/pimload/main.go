@@ -1,0 +1,237 @@
+// Command pimload is the open-loop load-testing and capacity harness for
+// the serving layer (pimjoin serve). Unlike pimbench — a closed-loop
+// benchmark that measures engine throughput from inside the process —
+// pimload drives the wire protocol as a client against a live server,
+// schedules every arrival on a fixed timeline laid out before the run
+// (coordinated-omission-safe: server stalls surface as latency, they do not
+// slow the offered rate), and measures end-to-end match latency from each
+// arrival's *scheduled* send time to its match frame's receive time.
+//
+// Usage:
+//
+//	pimload -loopback -scenario 'diurnal(period=10s)' -rate 50000 -duration 30s
+//	pimload -addr localhost:7478 -scenario constant -rate 20000 -duration 10s -json load.json
+//	pimload -loopback -capacity -slo 20ms
+//
+// Scenario specs (repeat -scenario to run several in sequence):
+//
+//	constant | diurnal(period=,amp=) | hotspot(start=,len=,spike=,frac=,width=)
+//	| disorder(start=,len=,maxdisorder=) | slowsub(subs=,delay=)
+//
+// -capacity ignores -scenario and binary-searches the highest constant rate
+// whose p99 end-to-end match latency holds the -slo bound.
+//
+// With -json the run writes a report in the pimbench format (load-* cells),
+// so cmd/benchgate gates the latency quantiles (lower-is-better) and rates
+// (higher-is-better) against a committed baseline.
+//
+// The driver must be the server's only ingest producer: match frames are
+// resolved to scheduled send times through per-stream sequence numbers the
+// driver predicts, and a second producer would desynchronize them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pimtree/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, "; ") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var scenarios stringList
+	fs.Var(&scenarios, "scenario", "scenario spec, repeatable (default constant); see the command doc")
+	var (
+		rate       = fs.Float64("rate", 20000, "base offered rate, arrivals/s")
+		duration   = fs.Duration("duration", 10*time.Second, "scheduled send window per scenario")
+		seed       = fs.Int64("seed", 42, "workload seed (schedules are deterministic in it)")
+		addr       = fs.String("addr", "", "address of a running pimjoin serve to drive")
+		loopback   = fs.Bool("loopback", false, "drive an in-process engine+server instead of -addr")
+		jsonPath   = fs.String("json", "", "write a pimbench-format report to this file")
+		minSamples = fs.Uint64("min-samples", 0, "fail unless every scenario records at least this many latency samples with positive quantiles")
+
+		window    = fs.Int("w", 1<<14, "loopback count-window length (and MaxLive floor for timed scenarios)")
+		shards    = fs.Int("shards", 0, "loopback shard count (0 = GOMAXPROCS)")
+		subQueue  = fs.Int("sub-queue", 1<<16, "loopback per-subscriber queue bound")
+		subPolicy = fs.String("sub-policy", "block", "loopback slow-subscriber policy: block | drop")
+		span      = fs.Duration("span", 250*time.Millisecond, "loopback time-window span for timed scenarios")
+		slack     = fs.Duration("slack", 0, "loopback disorder slack (0 = the scenario's maxdisorder)")
+
+		capacity  = fs.Bool("capacity", false, "binary-search max sustainable constant rate under -slo")
+		slo       = fs.Duration("slo", 20*time.Millisecond, "p99 end-to-end match latency SLO for -capacity")
+		capWindow = fs.Duration("cap-window", 3*time.Second, "send window per capacity trial")
+		minRate   = fs.Float64("min-rate", 1000, "capacity search floor, arrivals/s")
+		maxRate   = fs.Float64("max-rate", 2e6, "capacity search ceiling, arrivals/s")
+		capTol    = fs.Float64("cap-tol", 0.1, "capacity bracket tolerance (relative)")
+		capTrials = fs.Int("cap-trials", 16, "capacity trial budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*addr == "") == !*loopback {
+		fmt.Fprintln(stderr, "pimload: pass exactly one of -addr or -loopback")
+		return 2
+	}
+	if *capacity && len(scenarios) > 0 {
+		fmt.Fprintln(stderr, "pimload: -capacity runs its own constant-rate trials; drop -scenario")
+		return 2
+	}
+	var dropSlow bool
+	switch *subPolicy {
+	case "block":
+	case "drop":
+		dropSlow = true
+	default:
+		fmt.Fprintf(stderr, "pimload: unknown -sub-policy %q (block|drop)\n", *subPolicy)
+		return 2
+	}
+	if len(scenarios) == 0 {
+		scenarios = stringList{"constant"}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	lcFor := func() load.LoopbackConfig {
+		return load.LoopbackConfig{
+			Window:          *window,
+			Span:            uint64(*span),
+			Slack:           uint64(*slack),
+			Shards:          *shards,
+			SubscriberQueue: *subQueue,
+			DropSlow:        dropSlow,
+		}
+	}
+	ropts := load.RunOptions{Addr: *addr, Logf: logf}
+
+	// One runner per remote server: sequence tags accumulate across every
+	// schedule the same engine admits. Loopback runs get a fresh engine and
+	// a fresh runner each.
+	remote := load.NewRunner()
+
+	runOne := func(sc load.Scenario) (*load.Result, error) {
+		runner, opts := remote, ropts
+		if *loopback {
+			lb, err := load.StartLoopback(sc, lcFor())
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := lb.Close(cctx); err != nil {
+					logf("pimload: loopback close: %v", err)
+				}
+			}()
+			runner, opts = load.NewRunner(), ropts
+			opts.Addr = lb.Addr()
+		}
+		sched, err := sc.GenerateFrom(*seed, runner.SeqBase())
+		if err != nil {
+			return nil, err
+		}
+		return runner.Run(ctx, sched, opts)
+	}
+
+	var results []*load.Result
+	var capRes *load.CapacityResult
+	fail := false
+
+	if *capacity {
+		copts := load.CapacityOptions{
+			SLO:       *slo,
+			MinRate:   *minRate,
+			MaxRate:   *maxRate,
+			Tolerance: *capTol,
+			MaxTrials: *capTrials,
+			Logf:      logf,
+		}
+		var err error
+		capRes, err = load.FindCapacity(ctx, copts, func(_ context.Context, r float64) (*load.Result, error) {
+			return runOne(load.Scenario{Kind: load.Constant, Rate: r, Duration: *capWindow})
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "pimload: %v\n", err)
+			return 1
+		}
+		if capRes.MaxRate > 0 {
+			fmt.Fprintf(stdout, "capacity: %.0f arrivals/s sustain p99 < %v (%d trials)\n",
+				capRes.MaxRate, capRes.SLO, len(capRes.Trials))
+			fmt.Fprintln(stdout, capRes.AtMax.Result.Text())
+		} else {
+			fmt.Fprintf(stdout, "capacity: even %.0f arrivals/s misses p99 < %v (%d trials)\n",
+				copts.MinRate, capRes.SLO, len(capRes.Trials))
+			fail = true
+		}
+	} else {
+		for _, spec := range scenarios {
+			sc, err := load.ParseSpec(spec)
+			if err != nil {
+				fmt.Fprintf(stderr, "pimload: %v\n", err)
+				return 2
+			}
+			sc.Rate, sc.Duration = *rate, *duration
+			res, err := runOne(sc)
+			if err != nil {
+				fmt.Fprintf(stderr, "pimload: scenario %s: %v\n", spec, err)
+				return 1
+			}
+			fmt.Fprintln(stdout, res.Text())
+			results = append(results, res)
+			if res.Errors != 0 || res.Untagged != 0 {
+				fmt.Fprintf(stderr, "pimload: scenario %s: %d protocol errors, %d untagged matches\n",
+					spec, res.Errors, res.Untagged)
+				fail = true
+			}
+			if *minSamples > 0 {
+				if n := res.Latency.Count(); n < *minSamples {
+					fmt.Fprintf(stderr, "pimload: scenario %s: %d latency samples, want at least %d\n", spec, n, *minSamples)
+					fail = true
+				} else if res.Latency.Quantile(0.50) <= 0 || res.Latency.Quantile(0.99) <= 0 || res.Latency.Quantile(0.999) <= 0 {
+					fmt.Fprintf(stderr, "pimload: scenario %s: non-positive latency quantile\n", spec)
+					fail = true
+				}
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		rep := load.BenchReport(*seed, results, capRes)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "pimload: encode report: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "pimload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimtree/internal/bench"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func loadReport(t *testing.T, path string) *bench.Report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return &rep
+}
+
+func TestRunScenarioLoopback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	code, out, errb := runCmd(t,
+		"-loopback", "-scenario", "constant", "-rate", "3000", "-duration", "300ms",
+		"-w", "256", "-min-samples", "1", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "scenario constant") {
+		t.Fatalf("summary missing from stdout:\n%s", out)
+	}
+
+	rep := loadReport(t, path)
+	if rep.Scale != "load" {
+		t.Fatalf("report scale %q", rep.Scale)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "load-constant" {
+		t.Fatalf("want one load-constant experiment, got %+v", rep.Experiments)
+	}
+	tbl := rep.Experiments[0].Table
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != len(tbl.Columns) {
+		t.Fatalf("ragged table %+v", tbl)
+	}
+	// Every latency quantile cell must parse positive — benchgate drops
+	// non-positive cells and would fail its coverage check.
+	for i, col := range tbl.Columns {
+		if !strings.Contains(col, "ms") {
+			continue
+		}
+		v, err := strconv.ParseFloat(tbl.Rows[0][i], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("column %q cell %q: want a positive number (err %v)", col, tbl.Rows[0][i], err)
+		}
+	}
+}
+
+func TestRunScenarioDeterministicSchedule(t *testing.T) {
+	// Same seed, same scenario: the scheduled send count is identical run to
+	// run (latencies of course are not).
+	var sents [2]string
+	for i := range sents {
+		code, out, errb := runCmd(t,
+			"-loopback", "-scenario", "hotspot(spike=3)", "-rate", "2000", "-duration", "250ms",
+			"-w", "256", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, errb)
+		}
+		f := strings.Fields(out)
+		for j, w := range f {
+			if w == "sent" && j+1 < len(f) {
+				sents[i] = f[j+1]
+			}
+		}
+	}
+	if sents[0] == "" || sents[0] != sents[1] {
+		t.Fatalf("sent counts %q and %q differ for one seed", sents[0], sents[1])
+	}
+}
+
+func TestRunCapacityLoopback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.json")
+	code, out, errb := runCmd(t,
+		"-loopback", "-capacity", "-slo", "250ms", "-cap-window", "300ms",
+		"-min-rate", "1000", "-max-rate", "4000", "-cap-tol", "0.5", "-w", "256",
+		"-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "capacity:") {
+		t.Fatalf("capacity summary missing:\n%s", out)
+	}
+	rep := loadReport(t, path)
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "load-capacity" {
+		t.Fatalf("want one load-capacity experiment, got %+v", rep.Experiments)
+	}
+	row := rep.Experiments[0].Table.Rows[0]
+	if v, err := strconv.ParseFloat(row[1], 64); err != nil || v < 1000 {
+		t.Fatalf("cap/s cell %q: want ≥ min-rate (err %v)", row[1], err)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	cases := [][]string{
+		{},                                    // neither -addr nor -loopback
+		{"-addr", "x:1", "-loopback"},         // both
+		{"-loopback", "-scenario", "warp"},    // unknown scenario
+		{"-loopback", "-sub-policy", "maybe"}, // unknown policy
+		{"-loopback", "-capacity", "-scenario", "constant"}, // capacity excludes -scenario
+	}
+	for _, args := range cases {
+		if code, out, _ := runCmd(t, args...); code != 2 {
+			t.Errorf("run(%q) = %d, want usage failure 2\nstdout:\n%s", args, code, out)
+		}
+	}
+}

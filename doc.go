@@ -96,7 +96,10 @@
 // regenerates every figure of the paper's evaluation section plus the
 // repository's own ablations, including the engine-overhead,
 // sharded-vs-shared, and serving-layer wire-overhead comparisons (see
-// docs/ARCHITECTURE.md for the paper-to-package map), and cmd/pimjoin runs
+// docs/ARCHITECTURE.md for the paper-to-package map), cmd/pimjoin runs
 // ad-hoc joins — batch, stdin-streamed, or network-served through a live
-// Engine — from the command line.
+// Engine — from the command line, and cmd/pimload load-tests a served
+// engine with an open-loop, coordinated-omission-safe arrival schedule,
+// measuring end-to-end match latency and searching for the maximum
+// sustainable rate under a latency SLO (see docs/OPERATIONS.md).
 package pimtree

@@ -1,0 +1,153 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// CapacityOptions configures the capacity analyzer.
+type CapacityOptions struct {
+	// SLO is the p99 end-to-end match latency bound a rate must hold to
+	// count as sustainable (required).
+	SLO time.Duration
+	// MinRate seeds the search (default 1000/s). A server that cannot hold
+	// the SLO even at MinRate reports capacity 0.
+	MinRate float64
+	// MaxRate caps the search (default 2,000,000/s).
+	MaxRate float64
+	// Tolerance is the relative gap between the highest passing and lowest
+	// failing rate at which the search stops (default 0.1).
+	Tolerance float64
+	// MaxTrials bounds the total number of trials (default 16).
+	MaxTrials int
+	// Logf, when set, receives one line per trial.
+	Logf func(format string, args ...any)
+}
+
+func (o CapacityOptions) withDefaults() (CapacityOptions, error) {
+	if o.SLO <= 0 {
+		return o, fmt.Errorf("load: capacity SLO must be positive, got %v", o.SLO)
+	}
+	if o.MinRate <= 0 {
+		o.MinRate = 1000
+	}
+	if o.MaxRate <= 0 {
+		o.MaxRate = 2e6
+	}
+	if o.MaxRate < o.MinRate {
+		return o, fmt.Errorf("load: capacity MaxRate %v below MinRate %v", o.MaxRate, o.MinRate)
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.1
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 16
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o, nil
+}
+
+// Trial is one capacity probe: its offered rate, the measured result, and
+// the pass verdict against the SLO.
+type Trial struct {
+	Rate   float64
+	P99    time.Duration
+	Passed bool
+	Result *Result
+}
+
+// CapacityResult is the analyzer's outcome.
+type CapacityResult struct {
+	// MaxRate is the highest offered rate whose trial held the SLO — 0
+	// when even MinRate failed.
+	MaxRate float64
+	// AtMax is the passing trial at MaxRate (nil when MaxRate is 0).
+	AtMax  *Trial
+	SLO    time.Duration
+	Trials []Trial
+}
+
+// FindCapacity binary-searches the maximum sustainable offered rate under
+// the p99 SLO. runTrial runs one constant-rate trial at the given rate and
+// returns its measurement — the closure owns server lifecycle (a fresh
+// loopback per trial, or one long-lived remote engine with a shared
+// Runner). The search first doubles from MinRate until a trial misses the
+// SLO (or MaxRate passes), then bisects the bracket until it is within
+// Tolerance.
+func FindCapacity(ctx context.Context, opts CapacityOptions, runTrial func(ctx context.Context, rate float64) (*Result, error)) (*CapacityResult, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &CapacityResult{SLO: opts.SLO}
+	try := func(rate float64) (Trial, error) {
+		r, err := runTrial(ctx, rate)
+		if err != nil {
+			return Trial{}, fmt.Errorf("load: capacity trial at %.0f/s: %w", rate, err)
+		}
+		t := Trial{
+			Rate:   rate,
+			P99:    time.Duration(r.Latency.Quantile(0.99)),
+			Result: r,
+		}
+		// A trial with no latency samples (no matches survived) cannot
+		// demonstrate the SLO held; treat it as a failure rather than
+		// vacuously passing.
+		t.Passed = r.Latency.Count() > 0 && t.P99 <= opts.SLO && r.Errors == 0
+		res.Trials = append(res.Trials, t)
+		verdict := "FAIL"
+		if t.Passed {
+			verdict = "ok"
+		}
+		opts.Logf("load: capacity trial %2d: rate %9.0f/s p99 %-12v (slo %v) %s",
+			len(res.Trials), rate, t.P99.Round(time.Microsecond), opts.SLO, verdict)
+		return t, nil
+	}
+
+	// Expansion: double until a failure brackets the capacity.
+	lo, hi := 0.0, 0.0
+	var best Trial
+	for rate := opts.MinRate; ; rate *= 2 {
+		if rate > opts.MaxRate {
+			rate = opts.MaxRate
+		}
+		t, err := try(rate)
+		if err != nil {
+			return res, err
+		}
+		if t.Passed {
+			lo, best = rate, t
+			if rate == opts.MaxRate {
+				break // everything up to the cap sustains the SLO
+			}
+		} else {
+			hi = rate
+			break
+		}
+		if len(res.Trials) >= opts.MaxTrials {
+			break
+		}
+	}
+
+	// Bisection inside the bracket.
+	for hi > 0 && lo > 0 && (hi-lo)/hi > opts.Tolerance && len(res.Trials) < opts.MaxTrials {
+		mid := (lo + hi) / 2
+		t, err := try(mid)
+		if err != nil {
+			return res, err
+		}
+		if t.Passed {
+			lo, best = mid, t
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxRate = lo
+	if lo > 0 {
+		res.AtMax = &best
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeTrial builds a runTrial closure over a synthetic latency model:
+// p99 scales linearly with offered rate, crossing the SLO exactly at cap.
+func fakeTrial(slo time.Duration, cap float64, errs int) func(context.Context, float64) (*Result, error) {
+	return func(_ context.Context, rate float64) (*Result, error) {
+		r := &Result{Scenario: "constant", Offered: rate, Errors: errs}
+		r.Latency.Record(int64(float64(slo) * rate / cap))
+		return r, nil
+	}
+}
+
+func TestCapacityConverges(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	const trueCap = 100_000.0
+	opts := CapacityOptions{SLO: slo, MinRate: 1000, MaxRate: 1e6, Tolerance: 0.05, MaxTrials: 32}
+	res, err := FindCapacity(context.Background(), opts, fakeTrial(slo, trueCap, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRate <= 0 || res.MaxRate > trueCap {
+		t.Fatalf("capacity %.0f outside (0, %.0f]", res.MaxRate, trueCap)
+	}
+	// The bracket invariant: lo passes, hi fails, (hi−lo)/hi ≤ Tolerance —
+	// so lo is within a shade over Tolerance of the true capacity.
+	if res.MaxRate < trueCap*(1-2*opts.Tolerance) {
+		t.Fatalf("capacity %.0f not within tolerance of true capacity %.0f", res.MaxRate, trueCap)
+	}
+	if res.AtMax == nil || !res.AtMax.Passed || res.AtMax.Rate != res.MaxRate {
+		t.Fatalf("AtMax %+v inconsistent with MaxRate %.0f", res.AtMax, res.MaxRate)
+	}
+	for i, tr := range res.Trials {
+		wantPass := tr.Rate <= trueCap
+		if tr.Passed != wantPass {
+			t.Fatalf("trial %d at %.0f/s: passed=%v, model says %v", i, tr.Rate, tr.Passed, wantPass)
+		}
+	}
+}
+
+func TestCapacityZeroWhenMinRateFails(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	res, err := FindCapacity(context.Background(), CapacityOptions{SLO: slo}, fakeTrial(slo, 100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRate != 0 || res.AtMax != nil {
+		t.Fatalf("want zero capacity and nil AtMax, got %.0f / %+v", res.MaxRate, res.AtMax)
+	}
+	if len(res.Trials) != 1 {
+		t.Fatalf("want the single MinRate trial, got %d", len(res.Trials))
+	}
+}
+
+func TestCapacityCapsAtMaxRate(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	opts := CapacityOptions{SLO: slo, MinRate: 1000, MaxRate: 50_000}
+	res, err := FindCapacity(context.Background(), opts, fakeTrial(slo, 1e9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRate != opts.MaxRate {
+		t.Fatalf("everything passes — capacity should report the search cap %.0f, got %.0f", opts.MaxRate, res.MaxRate)
+	}
+}
+
+func TestCapacityFailsOnProtocolErrors(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	// Latency would pass at every rate, but error frames disqualify trials.
+	res, err := FindCapacity(context.Background(), CapacityOptions{SLO: slo}, fakeTrial(slo, 1e12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRate != 0 {
+		t.Fatalf("trials with protocol errors must not pass, got capacity %.0f", res.MaxRate)
+	}
+}
+
+func TestCapacityFailsOnEmptyTrials(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	empty := func(context.Context, float64) (*Result, error) { return &Result{}, nil }
+	res, err := FindCapacity(context.Background(), CapacityOptions{SLO: slo}, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRate != 0 {
+		t.Fatalf("trials with no latency samples must not pass, got capacity %.0f", res.MaxRate)
+	}
+}
+
+func TestCapacityHonorsMaxTrials(t *testing.T) {
+	const slo = 10 * time.Millisecond
+	opts := CapacityOptions{SLO: slo, MinRate: 1, MaxRate: 1e12, Tolerance: 1e-9, MaxTrials: 5}
+	res, err := FindCapacity(context.Background(), opts, fakeTrial(slo, 1e6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) > opts.MaxTrials {
+		t.Fatalf("ran %d trials, cap is %d", len(res.Trials), opts.MaxTrials)
+	}
+}
+
+func TestCapacityRejectsBadOptions(t *testing.T) {
+	run := fakeTrial(time.Millisecond, 1000, 0)
+	if _, err := FindCapacity(context.Background(), CapacityOptions{}, run); err == nil {
+		t.Fatal("missing SLO accepted")
+	}
+	if _, err := FindCapacity(context.Background(), CapacityOptions{SLO: time.Second, MinRate: 100, MaxRate: 10}, run); err == nil {
+		t.Fatal("MaxRate below MinRate accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/server"
+)
+
+// Loopback is an in-process server wrapping a fresh engine on an ephemeral
+// loopback port — the self-contained target cmd/pimload's -loopback mode
+// and the package tests drive.
+type Loopback struct {
+	srv *server.Server
+}
+
+// LoopbackConfig shapes the in-process engine for a scenario. The zero
+// value serves the scenario's needs: count windows (or time windows when
+// the scenario is timed), sharded mode, blocking fan-out so no latency
+// sample is silently dropped.
+type LoopbackConfig struct {
+	// Window is the per-stream window: count-window length (default 1<<14),
+	// and MaxLive for timed engines.
+	Window int
+	// Span is the time-window duration in timestamp units (nanoseconds of
+	// scheduled time) for timed scenarios; default 250ms of event time.
+	Span uint64
+	// Slack is the tolerated disorder for timed scenarios; it must cover
+	// the scenario's MaxDisorder and defaults to it.
+	Slack uint64
+	// Shards is the shard count (default GOMAXPROCS via 0).
+	Shards int
+	// SubscriberQueue bounds each subscriber's outbound queue (default
+	// 1<<16). The fan-out policy is Block — measurement needs every match
+	// delivered — unless DropSlow selects the drop policy.
+	SubscriberQueue int
+	DropSlow        bool
+}
+
+// StartLoopback opens an engine shaped for the scenario and serves it on
+// 127.0.0.1:0.
+func StartLoopback(sc Scenario, lc LoopbackConfig) (*Loopback, error) {
+	sc = sc.withDefaults()
+	if lc.Window <= 0 {
+		lc.Window = 1 << 14
+	}
+	if lc.SubscriberQueue <= 0 {
+		lc.SubscriberQueue = 1 << 16
+	}
+	cfg := pimtree.Config{
+		WindowR: lc.Window,
+		WindowS: lc.Window,
+		Shards:  lc.Shards,
+	}
+	// Band half-width for an expected match rate of ~2 against a window of
+	// Window keys uniform over the scenario's key domain (the closed form
+	// behind pimtree.DiffForMatchRate, against KeyDomain instead of the
+	// full workload key space).
+	if d := (2*float64(sc.KeyDomain)/float64(lc.Window) - 1) / 2; d > 0 {
+		cfg.Diff = uint32(d)
+	}
+	if sc.Timed() {
+		cfg.Mode = pimtree.ModeShardedTime
+		cfg.Span = lc.Span
+		if cfg.Span == 0 {
+			cfg.Span = uint64(250 * time.Millisecond)
+		}
+		cfg.Slack = lc.Slack
+		if cfg.Slack == 0 {
+			cfg.Slack = uint64(sc.MaxDisorder)
+		}
+		// A tuple stays live until the event-time watermark passes its
+		// timestamp by Span, and the watermark itself trails by Slack —
+		// size MaxLive for the whole offered rate over that horizon (event
+		// time advances at wall speed here: timestamps are scheduled send
+		// offsets), with headroom for scheduling jitter.
+		horizon := (time.Duration(cfg.Span) + time.Duration(cfg.Slack)).Seconds()
+		live := int(sc.Rate*horizon) + 1024
+		if cfg.MaxLive = lc.Window; cfg.MaxLive < live {
+			cfg.MaxLive = live
+		}
+		if cfg.Slack < uint64(sc.MaxDisorder) {
+			return nil, fmt.Errorf("load: loopback Slack %d below the scenario's MaxDisorder %d — late drops would desynchronize sequence tags", cfg.Slack, uint64(sc.MaxDisorder))
+		}
+		cfg.LatePolicy = pimtree.LateDrop
+		// Window semantics differ between count and time modes; WindowR/S
+		// are count-window fields.
+		cfg.WindowR, cfg.WindowS = 0, 0
+	} else {
+		cfg.Mode = pimtree.ModeSharded
+	}
+	eng, err := pimtree.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("load: loopback engine: %w", err)
+	}
+	policy := server.Block
+	if lc.DropSlow {
+		policy = server.DropNewest
+	}
+	srv, err := server.New(eng, server.Options{
+		Addr:            "127.0.0.1:0",
+		SubscriberQueue: lc.SubscriberQueue,
+		Slow:            policy,
+	})
+	if err != nil {
+		eng.Close(context.Background())
+		return nil, fmt.Errorf("load: loopback server: %w", err)
+	}
+	return &Loopback{srv: srv}, nil
+}
+
+// Addr returns the server's protocol address.
+func (l *Loopback) Addr() string { return l.srv.Addr().String() }
+
+// Server returns the underlying server (stats scraping in tests).
+func (l *Loopback) Server() *server.Server { return l.srv }
+
+// Close gracefully shuts the server (and its engine) down.
+func (l *Loopback) Close(ctx context.Context) error {
+	_, err := l.srv.Shutdown(ctx)
+	return err
+}

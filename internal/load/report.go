@@ -1,0 +1,91 @@
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pimtree/internal/bench"
+)
+
+// ms renders a nanosecond quantity as fractional milliseconds with enough
+// digits that sub-millisecond latencies survive the round-trip through a
+// benchgate cell (a cell parsing to 0 would be excluded as non-positive
+// and fail the gate's coverage check).
+func ms(ns int64) string { return fmt.Sprintf("%.4f", float64(ns)/1e6) }
+
+// BenchReport renders load results in the pimbench report format, so
+// cmd/benchgate gates latency-quantile cells (lower-is-better) and offered
+// or capacity rates (higher-is-better) against a committed baseline exactly
+// like throughput cells. Each result becomes a `load-<scenario>` experiment;
+// cap, when non-nil, adds a `load-capacity` experiment.
+func BenchReport(seed int64, results []*Result, cap *CapacityResult) *bench.Report {
+	rep := bench.NewReport("load", runtime.GOMAXPROCS(0), seed)
+	for _, r := range results {
+		rep.Experiments = append(rep.Experiments, bench.ExperimentResult{
+			Table: bench.Table{
+				ID:    "load-" + r.Scenario,
+				Title: "open-loop " + r.Scenario + " scenario: CO-safe end-to-end match latency",
+				Columns: []string{
+					"scenario", "offered/s", "sent", "matches",
+					"p50 ms", "p99 ms", "p999 ms", "lag p99 ms",
+				},
+				Rows: [][]string{{
+					r.Scenario,
+					fmt.Sprintf("%.1f", r.Offered),
+					fmt.Sprintf("%d", r.Sent),
+					fmt.Sprintf("%d", r.Matches),
+					ms(r.Latency.Quantile(0.50)),
+					ms(r.Latency.Quantile(0.99)),
+					ms(r.Latency.Quantile(0.999)),
+					ms(r.SendLag.Quantile(0.99)),
+				}},
+			},
+			Seconds: r.Elapsed.Seconds(),
+		})
+	}
+	if cap != nil {
+		var secs float64
+		for _, t := range cap.Trials {
+			if t.Result != nil {
+				secs += t.Result.Elapsed.Seconds()
+			}
+		}
+		var p99 int64
+		if cap.AtMax != nil {
+			p99 = int64(cap.AtMax.P99)
+		}
+		rep.Experiments = append(rep.Experiments, bench.ExperimentResult{
+			Table: bench.Table{
+				ID:      "load-capacity",
+				Title:   "max sustainable rate under the p99 latency SLO",
+				Columns: []string{"slo", "cap/s", "p99 ms", "trials"},
+				Rows: [][]string{{
+					fmt.Sprintf("p99<%v", cap.SLO),
+					fmt.Sprintf("%.1f", cap.MaxRate),
+					ms(p99),
+					fmt.Sprintf("%d", len(cap.Trials)),
+				}},
+			},
+			Seconds: secs,
+		})
+	}
+	return rep
+}
+
+// Text renders the human-readable summary of one result.
+func (r *Result) Text() string {
+	s := fmt.Sprintf("scenario %s: offered %.1f/s sent %d matches %d untagged %d errors %d in %v\n",
+		r.Scenario, r.Offered, r.Sent, r.Matches, r.Untagged, r.Errors, r.Elapsed.Round(time.Millisecond))
+	s += fmt.Sprintf("  e2e match latency: p50 %v p99 %v p999 %v max %v (%d samples)\n",
+		time.Duration(r.Latency.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(r.Latency.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(r.Latency.Quantile(0.999)).Round(time.Microsecond),
+		time.Duration(r.Latency.Max()).Round(time.Microsecond),
+		r.Latency.Count())
+	s += fmt.Sprintf("  send lag: p50 %v p99 %v max %v",
+		time.Duration(r.SendLag.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(r.SendLag.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(r.SendLag.Max()).Round(time.Microsecond))
+	return s
+}

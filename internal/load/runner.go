@@ -1,0 +1,282 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/metrics"
+	"pimtree/internal/server"
+)
+
+// Result is one run's measurement record.
+type Result struct {
+	Scenario string
+	Offered  float64       // scheduled offer rate, arrivals/s
+	Sent     int           // arrivals actually sent (== scheduled unless aborted)
+	Elapsed  time.Duration // first scheduled send to drain acknowledgement
+	Matches  uint64        // match records received
+	// Untagged counts received matches whose probe sequence fell outside
+	// the tag table — matches of tuples this runner did not send. Non-zero
+	// means the sole-producer assumption was violated (or, on a timed run,
+	// the server's Slack was below the scenario's disorder and late drops
+	// desynchronized the sequence tags).
+	Untagged uint64
+	Errors   int // server error frames observed
+
+	// Latency is the coordinated-omission-safe end-to-end match latency:
+	// scheduled ingest send time → match frame receive time.
+	Latency metrics.Histogram
+	// SendLag is how far behind schedule each arrival actually left the
+	// client (send-loop health; latency already includes it by
+	// construction).
+	SendLag metrics.Histogram
+}
+
+// RunOptions configures a run beyond what the schedule itself carries.
+type RunOptions struct {
+	// Addr is the server's protocol address.
+	Addr string
+	// DialTimeout bounds connection setup (default 10s).
+	DialTimeout time.Duration
+	// MaxBatch caps arrivals coalesced into one PushBatch when the sender
+	// finds several due at once (default 8192). Overdue sends beyond the
+	// cap go out in consecutive batches with no pacing in between.
+	MaxBatch int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8192
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Runner drives schedules against one server. It carries the tag table —
+// per-stream scheduled send times indexed by engine sequence — across runs,
+// so consecutive trials against the same engine keep resolving match tags.
+// The runner must be the engine's only ingest producer since the engine
+// opened; see Result.Untagged.
+type Runner struct {
+	// tags holds each engine sequence's scheduled send offset within its
+	// own run (ns). Entries from earlier runs are dead weight kept only so
+	// indices line up — a match's probe is always a tuple of the current
+	// run, because every run ends with a full drain that flushes all of
+	// its matches to the subscriber before the next run starts.
+	tags [2][]int64
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner { return &Runner{} }
+
+// SeqBase returns the per-stream sequence numbers the engine will assign
+// next — the base a follow-up Schedule must be generated with
+// (Scenario.GenerateFrom).
+func (r *Runner) SeqBase() [2]uint64 {
+	return [2]uint64{uint64(len(r.tags[0])), uint64(len(r.tags[1]))}
+}
+
+// Run executes one schedule against the server: an open-loop sender paced
+// by the schedule, a subscriber reader charging every received match
+// against its probe's scheduled send time, and a final drain so matches
+// still in flight at the end of the window are measured, not dropped.
+func (r *Runner) Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	if sched.Base != r.SeqBase() {
+		return nil, fmt.Errorf("load: schedule generated for sequence base %v, runner is at %v", sched.Base, r.SeqBase())
+	}
+	res := &Result{Scenario: sched.Scenario.Kind.String(), Offered: sched.Offered()}
+	if len(sched.Sends) == 0 {
+		return res, nil
+	}
+
+	// Extend the tag table before any goroutine starts: it is immutable
+	// during the run, so the reader indexes it without locks. Sequences
+	// are not send-ordered on timed schedules (they are event-time ranks),
+	// so each slot is placed by index, not appended.
+	base := sched.Base
+	var counts [2]uint64
+	for _, snd := range sched.Sends {
+		counts[snd.Arr.Stream]++
+	}
+	ext := [2][]int64{make([]int64, counts[0]), make([]int64, counts[1])}
+	for _, snd := range sched.Sends {
+		st := snd.Arr.Stream
+		i := snd.Seq - base[st]
+		if snd.Seq < base[st] || i >= counts[st] {
+			return nil, fmt.Errorf("load: stream %d sequence %d outside schedule range [%d,%d)", st, snd.Seq, base[st], base[st]+counts[st])
+		}
+		ext[st][i] = int64(snd.Due)
+	}
+	r.tags[0] = append(r.tags[0], ext[0]...)
+	r.tags[1] = append(r.tags[1], ext[1]...)
+
+	c, err := server.Dial(opts.Addr, server.DialOptions{
+		Subscribe: true,
+		Timed:     sched.Scenario.Timed(),
+		Timeout:   opts.DialTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	defer c.Close()
+
+	// Slow subscribers: extra connections that read with a delay,
+	// exercising the server's slow-subscriber policy while the main
+	// subscriber measures.
+	slowCtx, slowCancel := context.WithCancel(ctx)
+	defer slowCancel()
+	for i := 0; i < r.slowSubs(sched); i++ {
+		sc, err := server.Dial(opts.Addr, server.DialOptions{
+			Subscribe: true,
+			Timed:     sched.Scenario.Timed(),
+			Timeout:   opts.DialTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load: slow subscriber: %w", err)
+		}
+		defer sc.Close()
+		go slowSubscriber(slowCtx, sc, sched.Scenario.SlowSubDelay)
+	}
+
+	// The reader owns res.Latency and the match counters until its channel
+	// closes; the sender owns res.SendLag. No field is shared while both
+	// run.
+	readerDone := make(chan error, 1)
+	start := time.Now()
+	go func() { readerDone <- r.read(c, res, start) }()
+
+	if err := r.send(ctx, c, sched, res, start, opts); err != nil {
+		return res, err
+	}
+	// Drain: the acknowledgement is ordered after every match the pushed
+	// tuples produced, so once the reader sees it the measurement is
+	// complete.
+	if err := c.Drain(); err != nil {
+		return res, fmt.Errorf("load: drain: %w", err)
+	}
+	select {
+	case err := <-readerDone:
+		res.Elapsed = time.Since(start)
+		if err != nil {
+			return res, err
+		}
+	case <-ctx.Done():
+		res.Elapsed = time.Since(start)
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+func (r *Runner) slowSubs(sched *Schedule) int {
+	if sched.Scenario.Kind != SlowSub {
+		return 0
+	}
+	return sched.Scenario.SlowSubs
+}
+
+// send paces the schedule out: every wake-up flushes all overdue sends as
+// one batch (charged their scheduled times — a stall becomes a burst with
+// honest lag), then sleeps until the next scheduled send.
+func (r *Runner) send(ctx context.Context, c *server.Client, sched *Schedule, res *Result, start time.Time, opts RunOptions) error {
+	sends := sched.Sends
+	batch := make([]pimtree.Arrival, 0, opts.MaxBatch)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for i := 0; i < len(sends); {
+		now := time.Since(start)
+		if sends[i].Due > now {
+			timer.Reset(sends[i].Due - now)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		batch = batch[:0]
+		j := i
+		for j < len(sends) && sends[j].Due <= now && len(batch) < opts.MaxBatch {
+			batch = append(batch, sends[j].Arr)
+			j++
+		}
+		if err := c.PushBatch(batch); err != nil {
+			return fmt.Errorf("load: push: %w", err)
+		}
+		// Lag is measured against the wake-up time that made the batch
+		// due, not per-record send completion: PushBatch blocking on TCP
+		// backpressure is charged to the *next* batch's lag and, through
+		// the fixed schedule, to every affected match latency.
+		for k := i; k < j; k++ {
+			res.SendLag.Record(int64(now - sends[k].Due))
+		}
+		res.Sent += j - i
+		i = j
+	}
+	return nil
+}
+
+// read consumes server events until the drain acknowledgement, recording
+// one end-to-end latency sample per received match.
+func (r *Runner) read(c *server.Client, res *Result, start time.Time) error {
+	for {
+		ev, err := c.ReadEvent()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return errors.New("load: server closed the stream before the drain acknowledgement")
+			}
+			return fmt.Errorf("load: read: %w", err)
+		}
+		switch ev.Type {
+		case server.FrameMatch:
+			at := int64(ev.At.Sub(start))
+			for _, m := range ev.Matches {
+				res.Matches++
+				st := int(m.ProbeStream)
+				if st > 1 || m.ProbeSeq >= uint64(len(r.tags[st])) {
+					res.Untagged++
+					continue
+				}
+				res.Latency.Record(at - r.tags[st][m.ProbeSeq])
+			}
+		case server.FrameDrained:
+			return nil
+		case server.FrameError:
+			res.Errors++
+			return fmt.Errorf("load: server error: %s", ev.Err)
+		}
+	}
+}
+
+// slowSubscriber reads match events with a fixed delay between reads until
+// the context ends or the connection closes.
+func slowSubscriber(ctx context.Context, c *server.Client, delay time.Duration) {
+	go func() {
+		<-ctx.Done()
+		c.Close()
+	}()
+	for {
+		if _, err := c.ReadEvent(); err != nil {
+			return
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return
+		}
+	}
+}

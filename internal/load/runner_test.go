@@ -1,0 +1,133 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runLoopback generates the schedule, starts a loopback server shaped for
+// the scenario, and executes one run.
+func runLoopback(t *testing.T, sc Scenario, lc LoopbackConfig) *Result {
+	t.Helper()
+	lb, err := StartLoopback(sc, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := lb.Close(ctx); err != nil {
+			t.Errorf("loopback close: %v", err)
+		}
+	}()
+	sched, err := sc.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner().Run(context.Background(), sched, RunOptions{Addr: lb.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != len(sched.Sends) {
+		t.Fatalf("sent %d of %d scheduled arrivals", res.Sent, len(sched.Sends))
+	}
+	return res
+}
+
+// checkMeasured asserts the run produced a complete, fully tagged latency
+// record: every match resolved to its scheduled send time.
+func checkMeasured(t *testing.T, res *Result) {
+	t.Helper()
+	if res.Errors != 0 {
+		t.Fatalf("%d server error frames", res.Errors)
+	}
+	if res.Matches == 0 {
+		t.Fatal("run produced no matches — nothing to measure")
+	}
+	if res.Untagged != 0 {
+		t.Fatalf("%d of %d matches untagged — sequence tags desynchronized", res.Untagged, res.Matches)
+	}
+	if got := res.Latency.Count(); got != res.Matches {
+		t.Fatalf("latency samples %d != matches %d", got, res.Matches)
+	}
+	if res.Latency.Max() <= 0 {
+		t.Fatal("max end-to-end latency is not positive")
+	}
+	if p50, p99 := res.Latency.Quantile(0.50), res.Latency.Quantile(0.99); p50 > p99 {
+		t.Fatalf("p50 %d > p99 %d", p50, p99)
+	}
+}
+
+func TestRunnerCountMode(t *testing.T) {
+	sc := Scenario{Kind: Constant, Rate: 3000, Duration: 300 * time.Millisecond}
+	res := runLoopback(t, sc, LoopbackConfig{Window: 256})
+	checkMeasured(t, res)
+	if res.SendLag.Count() != uint64(res.Sent) {
+		t.Fatalf("send-lag samples %d != sent %d", res.SendLag.Count(), res.Sent)
+	}
+}
+
+func TestRunnerTimedDisorder(t *testing.T) {
+	sc := Scenario{Kind: Disorder, Rate: 3000, Duration: 300 * time.Millisecond, MaxDisorder: 5 * time.Millisecond}
+	res := runLoopback(t, sc, LoopbackConfig{Window: 256})
+	checkMeasured(t, res)
+}
+
+func TestRunnerSlowSub(t *testing.T) {
+	sc := Scenario{Kind: SlowSub, Rate: 2000, Duration: 250 * time.Millisecond, SlowSubs: 2, SlowSubDelay: time.Millisecond}
+	res := runLoopback(t, sc, LoopbackConfig{Window: 256})
+	checkMeasured(t, res)
+}
+
+// TestRunnerConsecutiveTrials reuses one engine and runner across two runs —
+// the capacity analyzer's shared-server shape — and checks sequence tags
+// stay aligned across the cumulative base.
+func TestRunnerConsecutiveTrials(t *testing.T) {
+	sc := Scenario{Kind: Constant, Rate: 2500, Duration: 250 * time.Millisecond}
+	lb, err := StartLoopback(sc, LoopbackConfig{Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		lb.Close(ctx)
+	}()
+	r := NewRunner()
+	for trial := 0; trial < 2; trial++ {
+		sched, err := sc.GenerateFrom(int64(trial), r.SeqBase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(context.Background(), sched, RunOptions{Addr: lb.Addr()})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkMeasured(t, res)
+	}
+	if base := r.SeqBase(); base[0] == 0 || base[1] == 0 {
+		t.Fatalf("sequence base %v did not advance on both streams", base)
+	}
+}
+
+func TestRunnerRejectsBaseMismatch(t *testing.T) {
+	sc := Scenario{Kind: Constant, Rate: 1000, Duration: 100 * time.Millisecond}
+	sched, err := sc.GenerateFrom(1, [2]uint64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRunner().Run(context.Background(), sched, RunOptions{Addr: "127.0.0.1:1"})
+	if err == nil || !strings.Contains(err.Error(), "sequence base") {
+		t.Fatalf("want sequence-base mismatch error, got %v", err)
+	}
+}
+
+func TestLoopbackRejectsInsufficientSlack(t *testing.T) {
+	sc := Scenario{Kind: Disorder, Rate: 1000, Duration: 100 * time.Millisecond, MaxDisorder: 20 * time.Millisecond}
+	_, err := StartLoopback(sc, LoopbackConfig{Slack: uint64(time.Millisecond)})
+	if err == nil || !strings.Contains(err.Error(), "Slack") {
+		t.Fatalf("want insufficient-Slack error, got %v", err)
+	}
+}

@@ -1,0 +1,493 @@
+// Package load is the open-loop load-testing and capacity harness behind
+// cmd/pimload: deterministic seedable arrival scenarios, a
+// coordinated-omission-safe runner that drives the wire protocol against a
+// live server while measuring end-to-end match latency, and a capacity
+// analyzer that binary-searches the maximum sustainable rate under a
+// latency SLO.
+//
+// # Open loop, and why the schedule is the truth
+//
+// A closed-loop driver (pimbench, abl-* cells) issues the next request when
+// the previous one finishes, so a server stall silently slows the offered
+// rate and the stall never appears in the latency record — the coordinated
+// omission problem. Here every arrival has a fixed scheduled send time laid
+// out before the run starts, the sender never re-anchors the timeline, and
+// latency is measured from the *scheduled* send time to the match frame's
+// receive time. A stalled server therefore receives a burst of overdue
+// sends and every affected match is charged the full stall.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pimtree"
+)
+
+// Kind names a scenario shape.
+type Kind int
+
+// The scenario shapes. Each is a rate profile plus (for Hotspot) a key-skew
+// shift, (for Disorder) an event-time disorder burst, and (for SlowSub) a
+// deliberately slow extra subscriber.
+const (
+	// Constant offers a flat rate — the capacity analyzer's trial shape.
+	Constant Kind = iota
+	// Diurnal ramps the rate sinusoidally between Rate·(1−Amp) and
+	// Rate·(1+Amp) with period Period, starting at the trough.
+	Diurnal
+	// Hotspot is a flash crowd: inside [BurstStart, BurstStart+BurstLen)
+	// the rate is multiplied by Spike and a HotFrac fraction of keys
+	// collapses into a band HotWidth of the key domain wide.
+	Hotspot
+	// Disorder is a timed scenario whose burst window delivers arrivals
+	// out of event-time order, displaced by at most MaxDisorder.
+	Disorder
+	// SlowSub is a constant-rate scenario with SlowSubs extra match
+	// subscribers that sleep SlowSubDelay between reads, exercising the
+	// server's slow-subscriber policy under live load.
+	SlowSub
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Constant:
+		return "constant"
+	case Diurnal:
+		return "diurnal"
+	case Hotspot:
+		return "hotspot"
+	case Disorder:
+		return "disorder"
+	case SlowSub:
+		return "slowsub"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// step is the rate-integration step. Burst boundaries snap to it, which
+// keeps the emission count equal to the analytic rate integral within ±1
+// even for discontinuous profiles (midpoint integration is exact when the
+// rate is constant or linear across each step).
+const step = 100 * time.Microsecond
+
+// Scenario is one deterministic open-loop workload description. The zero
+// value is not runnable; start from ParseSpec or fill Kind/Duration/Rate.
+type Scenario struct {
+	Kind Kind
+	// Duration is the scheduled send window (matches may arrive after it;
+	// the runner drains before reporting).
+	Duration time.Duration
+	// Rate is the base offered rate in arrivals per second.
+	Rate float64
+	// KeyDomain bounds generated keys to [0, KeyDomain). Default 1<<20.
+	KeyDomain uint32
+
+	// Period and Amp shape the Diurnal profile (defaults 10s, 0.8).
+	Period time.Duration
+	Amp    float64
+
+	// BurstStart/BurstLen bound the Hotspot and Disorder bursts (defaults:
+	// the middle half of the run). Snapped to the integration step.
+	BurstStart time.Duration
+	BurstLen   time.Duration
+	// Spike multiplies the rate inside a Hotspot burst (default 4).
+	Spike float64
+	// HotFrac is the fraction of burst keys drawn from the hot band
+	// (default 0.9); HotWidth its width as a fraction of the key domain
+	// (default 1/64).
+	HotFrac  float64
+	HotWidth float64
+
+	// MaxDisorder bounds event-time displacement in a Disorder burst
+	// (default 20ms). The server's Slack (in timestamp units — nanoseconds
+	// here) must be at least this, or late arrivals are dropped and the
+	// sequence tags desynchronize.
+	MaxDisorder time.Duration
+
+	// SlowSubs and SlowSubDelay configure the SlowSub scenario's extra
+	// subscribers (defaults 1, 2ms).
+	SlowSubs     int
+	SlowSubDelay time.Duration
+}
+
+// Timed reports whether the scenario's arrivals carry event timestamps and
+// must be run against a ModeShardedTime engine.
+func (sc Scenario) Timed() bool { return sc.Kind == Disorder }
+
+// withDefaults fills unset shape parameters.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.KeyDomain == 0 {
+		sc.KeyDomain = 1 << 20
+	}
+	if sc.Period <= 0 {
+		sc.Period = 10 * time.Second
+	}
+	if sc.Amp == 0 {
+		sc.Amp = 0.8
+	}
+	if sc.BurstStart <= 0 {
+		sc.BurstStart = sc.Duration / 4
+	}
+	if sc.BurstLen <= 0 {
+		sc.BurstLen = sc.Duration / 2
+	}
+	if sc.Spike == 0 {
+		sc.Spike = 4
+	}
+	if sc.HotFrac == 0 {
+		sc.HotFrac = 0.9
+	}
+	if sc.HotWidth == 0 {
+		sc.HotWidth = 1.0 / 64
+	}
+	if sc.MaxDisorder <= 0 {
+		sc.MaxDisorder = 20 * time.Millisecond
+	}
+	if sc.SlowSubs == 0 {
+		sc.SlowSubs = 1
+	}
+	if sc.SlowSubDelay <= 0 {
+		sc.SlowSubDelay = 2 * time.Millisecond
+	}
+	// Burst boundaries snap to the integration grid so the scheduled count
+	// integrates exactly (see step).
+	sc.BurstStart = sc.BurstStart.Round(step)
+	sc.BurstLen = sc.BurstLen.Round(step)
+	return sc
+}
+
+func (sc Scenario) validate() error {
+	if sc.Duration <= 0 {
+		return fmt.Errorf("load: scenario duration must be positive, got %v", sc.Duration)
+	}
+	if sc.Rate <= 0 || math.IsNaN(sc.Rate) || math.IsInf(sc.Rate, 0) {
+		return fmt.Errorf("load: scenario rate must be positive and finite, got %v", sc.Rate)
+	}
+	if sc.Amp < 0 || sc.Amp > 1 {
+		return fmt.Errorf("load: diurnal amplitude must be in [0,1], got %v", sc.Amp)
+	}
+	if sc.HotFrac < 0 || sc.HotFrac > 1 {
+		return fmt.Errorf("load: hotspot fraction must be in [0,1], got %v", sc.HotFrac)
+	}
+	if sc.HotWidth <= 0 || sc.HotWidth > 1 {
+		return fmt.Errorf("load: hotspot width must be in (0,1], got %v", sc.HotWidth)
+	}
+	if sc.Spike <= 0 {
+		return fmt.Errorf("load: hotspot spike must be positive, got %v", sc.Spike)
+	}
+	if sc.SlowSubs < 0 {
+		return fmt.Errorf("load: slow-subscriber count must be non-negative, got %d", sc.SlowSubs)
+	}
+	return nil
+}
+
+// rateAt is the instantaneous offered rate at offset t.
+func (sc Scenario) rateAt(t time.Duration) float64 {
+	switch sc.Kind {
+	case Diurnal:
+		phase := 2*math.Pi*float64(t)/float64(sc.Period) - math.Pi/2
+		return sc.Rate * (1 + sc.Amp*math.Sin(phase))
+	case Hotspot:
+		if t >= sc.BurstStart && t < sc.BurstStart+sc.BurstLen {
+			return sc.Rate * sc.Spike
+		}
+		return sc.Rate
+	default:
+		return sc.Rate
+	}
+}
+
+// inBurst reports whether offset t falls inside the scenario's burst
+// window.
+func (sc Scenario) inBurst(t time.Duration) bool {
+	return t >= sc.BurstStart && t < sc.BurstStart+sc.BurstLen
+}
+
+// Send is one scheduled arrival: what to send, when to send it, and the
+// per-stream engine sequence number the record will receive — the tag that
+// match frames echo back (Match.ProbeSeq/MatchSeq are per-stream arrival
+// ordinals, and the serving layer admits all ingest through one producer in
+// submission order, so a sole producer knows every record's sequence in
+// advance).
+type Send struct {
+	Due time.Duration // scheduled send offset from run start
+	Arr pimtree.Arrival
+	Seq uint64 // engine sequence of Arr within its stream
+}
+
+// Schedule is a fully materialized scenario: the deterministic product of
+// (Scenario, seed, sequence bases).
+type Schedule struct {
+	Scenario Scenario // with defaults applied
+	Seed     int64
+	// Base holds the per-stream sequence numbers the engine will assign to
+	// this schedule's first R and S records — zero against a freshly opened
+	// engine, cumulative across trials that reuse one engine.
+	Base  [2]uint64
+	Sends []Send
+}
+
+// Generate materializes the schedule for a freshly opened engine (sequence
+// bases zero).
+func (sc Scenario) Generate(seed int64) (*Schedule, error) {
+	return sc.GenerateFrom(seed, [2]uint64{})
+}
+
+// GenerateFrom materializes the schedule assuming the engine has already
+// admitted base[R]/base[S] records per stream from this producer. The
+// result is deterministic in (scenario, seed, base).
+func (sc Scenario) GenerateFrom(seed int64, base [2]uint64) (*Schedule, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hotLo, hotHi := sc.hotBand(rng)
+
+	// Emission by numeric rate integration: walk the run window in fixed
+	// steps, accumulate ∫rate·dt, and emit one arrival per unit crossing,
+	// spaced evenly inside the step. Midpoint sampling is exact for
+	// constant and (per-step) linear rates, and burst boundaries snap to
+	// the grid, so the scheduled count matches the analytic integral
+	// within ±1.
+	est := int(sc.Rate*sc.Duration.Seconds()*sc.Spike) + 16
+	sends := make([]Send, 0, min(est, 1<<22))
+	acc := 0.0
+	var counts [2]uint64
+	for t := time.Duration(0); t < sc.Duration; t += step {
+		w := step
+		if t+w > sc.Duration {
+			w = sc.Duration - t
+		}
+		mid := t + w/2
+		acc += sc.rateAt(mid) * w.Seconds()
+		k := int(acc)
+		if k == 0 {
+			continue
+		}
+		acc -= float64(k)
+		for j := 0; j < k; j++ {
+			due := t + w*time.Duration(j+1)/time.Duration(k+1)
+			var a pimtree.Arrival
+			if rng.Intn(2) == 0 {
+				a.Stream = pimtree.R
+			} else {
+				a.Stream = pimtree.S
+			}
+			a.Key = sc.key(rng, mid, hotLo, hotHi)
+			sends = append(sends, Send{Due: due, Arr: a})
+			counts[a.Stream]++
+		}
+	}
+
+	s := &Schedule{Scenario: sc, Seed: seed, Base: base, Sends: sends}
+	if sc.Timed() {
+		s.assignTimestamps(rng)
+	} else {
+		// Count-based windows: the engine sequence is the per-stream send
+		// ordinal.
+		var next [2]uint64
+		for i := range s.Sends {
+			st := s.Sends[i].Arr.Stream
+			s.Sends[i].Seq = base[st] + next[st]
+			next[st]++
+		}
+	}
+	return s, nil
+}
+
+// hotBand picks the flash crowd's key band deterministically from the rng.
+func (sc Scenario) hotBand(rng *rand.Rand) (lo, hi uint32) {
+	if sc.Kind != Hotspot {
+		return 0, 0
+	}
+	width := uint32(float64(sc.KeyDomain) * sc.HotWidth)
+	if width == 0 {
+		width = 1
+	}
+	lo = uint32(rng.Int63n(int64(sc.KeyDomain-width) + 1))
+	return lo, lo + width
+}
+
+// key draws one key for an arrival scheduled at offset t.
+func (sc Scenario) key(rng *rand.Rand, t time.Duration, hotLo, hotHi uint32) uint32 {
+	if sc.Kind == Hotspot && sc.inBurst(t) && rng.Float64() < sc.HotFrac {
+		return hotLo + uint32(rng.Int63n(int64(hotHi-hotLo)))
+	}
+	return uint32(rng.Int63n(int64(sc.KeyDomain)))
+}
+
+// assignTimestamps gives every send a unique event timestamp (nanoseconds
+// of its scheduled offset), applies the disorder burst as a
+// displacement-bounded permutation of the timestamp column, and derives
+// each record's engine sequence: a timed engine admits each stream in
+// event-time order (the reorder buffer's contract for disorder ≤ Slack),
+// so the sequence is the record's timestamp rank within its stream, not
+// its send ordinal.
+func (s *Schedule) assignTimestamps(rng *rand.Rand) {
+	sc := s.Scenario
+	prev := uint64(0)
+	for i := range s.Sends {
+		ts := uint64(s.Sends[i].Due)
+		if ts <= prev {
+			ts = prev + 1
+		}
+		s.Sends[i].Arr.TS = ts
+		prev = ts
+	}
+	// Disorder burst: swap timestamps between sends whose scheduled times
+	// differ by at most MaxDisorder. A permutation keeps the timestamp set
+	// (and thus per-stream ranks' domain) intact while making send order
+	// diverge from event-time order; each timestamp participates in at
+	// most one swap, so its displacement stays within MaxDisorder — the
+	// bound a server's Slack must cover for tag integrity.
+	swapped := make([]bool, len(s.Sends))
+	for i := range s.Sends {
+		if swapped[i] || !sc.inBurst(s.Sends[i].Due) {
+			continue
+		}
+		j := i + 1 + rng.Intn(32)
+		if j >= len(s.Sends) || swapped[j] ||
+			s.Sends[j].Due-s.Sends[i].Due > sc.MaxDisorder ||
+			!sc.inBurst(s.Sends[j].Due) {
+			continue
+		}
+		s.Sends[i].Arr.TS, s.Sends[j].Arr.TS = s.Sends[j].Arr.TS, s.Sends[i].Arr.TS
+		swapped[i], swapped[j] = true, true
+	}
+	// Sequence = rank of the record's timestamp within its stream.
+	var idx [2][]int
+	for i, snd := range s.Sends {
+		st := snd.Arr.Stream
+		idx[st] = append(idx[st], i)
+	}
+	for st := range idx {
+		ord := append([]int(nil), idx[st]...)
+		sort.Slice(ord, func(a, b int) bool {
+			return s.Sends[ord[a]].Arr.TS < s.Sends[ord[b]].Arr.TS
+		})
+		for rank, i := range ord {
+			s.Sends[i].Seq = s.Base[st] + uint64(rank)
+		}
+	}
+}
+
+// Offered returns the scheduled offer rate in arrivals per second.
+func (s *Schedule) Offered() float64 {
+	if s.Scenario.Duration <= 0 {
+		return 0
+	}
+	return float64(len(s.Sends)) / s.Scenario.Duration.Seconds()
+}
+
+// ParseSpec parses a scenario spec string of the DSL form
+//
+//	name
+//	name(key=value,key=value,...)
+//
+// where name is constant | diurnal | hotspot | disorder | slowsub and the
+// keys are the shape parameters: period, amp (diurnal); start, len, spike,
+// frac, width (hotspot); start, len, maxdisorder (disorder); subs, delay
+// (slowsub); keys (all). Durations use Go syntax (2s, 150ms). Rate,
+// duration, and seed are run parameters, not shape parameters — the caller
+// sets them on the returned Scenario.
+func ParseSpec(spec string) (Scenario, error) {
+	name, params := spec, ""
+	if i := strings.IndexByte(spec, '('); i >= 0 {
+		if !strings.HasSuffix(spec, ")") {
+			return Scenario{}, fmt.Errorf("load: unbalanced parentheses in scenario spec %q", spec)
+		}
+		name, params = spec[:i], spec[i+1:len(spec)-1]
+	}
+	var sc Scenario
+	switch strings.TrimSpace(name) {
+	case "constant":
+		sc.Kind = Constant
+	case "diurnal":
+		sc.Kind = Diurnal
+	case "hotspot":
+		sc.Kind = Hotspot
+	case "disorder":
+		sc.Kind = Disorder
+	case "slowsub":
+		sc.Kind = SlowSub
+	default:
+		return Scenario{}, fmt.Errorf("load: unknown scenario %q (constant|diurnal|hotspot|disorder|slowsub)", name)
+	}
+	if params == "" {
+		return sc, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Scenario{}, fmt.Errorf("load: scenario parameter %q is not key=value", kv)
+		}
+		if err := sc.setParam(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return Scenario{}, err
+		}
+	}
+	return sc, nil
+}
+
+func (sc *Scenario) setParam(key, val string) error {
+	durp := func(dst *time.Duration) error {
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("load: scenario parameter %s=%q: want a positive duration", key, val)
+		}
+		*dst = d
+		return nil
+	}
+	fltp := func(dst *float64) error {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("load: scenario parameter %s=%q: want a number", key, val)
+		}
+		*dst = f
+		return nil
+	}
+	switch key {
+	case "period":
+		return durp(&sc.Period)
+	case "amp":
+		return fltp(&sc.Amp)
+	case "start":
+		return durp(&sc.BurstStart)
+	case "len":
+		return durp(&sc.BurstLen)
+	case "spike":
+		return fltp(&sc.Spike)
+	case "frac":
+		return fltp(&sc.HotFrac)
+	case "width":
+		return fltp(&sc.HotWidth)
+	case "maxdisorder":
+		return durp(&sc.MaxDisorder)
+	case "delay":
+		return durp(&sc.SlowSubDelay)
+	case "subs":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("load: scenario parameter subs=%q: want a non-negative integer", val)
+		}
+		sc.SlowSubs = n
+		return nil
+	case "keys":
+		n, err := strconv.ParseUint(val, 10, 32)
+		if err != nil || n == 0 {
+			return fmt.Errorf("load: scenario parameter keys=%q: want a positive uint32", val)
+		}
+		sc.KeyDomain = uint32(n)
+		return nil
+	default:
+		return fmt.Errorf("load: unknown scenario parameter %q", key)
+	}
+}

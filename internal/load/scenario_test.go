@@ -1,0 +1,272 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// analytic returns the closed-form rate integral over the scenario's run
+// window — the scheduled send count the generator must hit within ±1.
+func analytic(sc Scenario) float64 {
+	sc = sc.withDefaults()
+	d := sc.Duration.Seconds()
+	switch sc.Kind {
+	case Diurnal:
+		// ∫ Rate·(1 + Amp·sin(2πt/P − π/2)) dt over [0, D).
+		p := sc.Period.Seconds()
+		return sc.Rate*d - sc.Rate*sc.Amp*(p/(2*math.Pi))*math.Sin(2*math.Pi*d/p)
+	case Hotspot:
+		return sc.Rate * (d + (sc.Spike-1)*sc.BurstLen.Seconds())
+	default:
+		return sc.Rate * d
+	}
+}
+
+func TestScheduleCountMatchesRateIntegral(t *testing.T) {
+	cases := []Scenario{
+		{Kind: Constant, Rate: 12345.6, Duration: 777 * time.Millisecond},
+		{Kind: Constant, Rate: 50, Duration: 2 * time.Second},
+		{Kind: Diurnal, Rate: 8000, Duration: 700 * time.Millisecond, Period: time.Second, Amp: 0.8},
+		{Kind: Diurnal, Rate: 3000, Duration: 1500 * time.Millisecond, Period: 600 * time.Millisecond, Amp: 0.3},
+		{Kind: Hotspot, Rate: 5000, Duration: time.Second},
+		{Kind: Hotspot, Rate: 2000, Duration: 900 * time.Millisecond, BurstStart: 100 * time.Millisecond, BurstLen: 300 * time.Millisecond, Spike: 10},
+		{Kind: Disorder, Rate: 4000, Duration: 500 * time.Millisecond},
+		{Kind: SlowSub, Rate: 1000, Duration: 400 * time.Millisecond},
+	}
+	for _, sc := range cases {
+		t.Run(sc.Kind.String(), func(t *testing.T) {
+			s, err := sc.Generate(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := analytic(sc)
+			if diff := math.Abs(float64(len(s.Sends)) - want); diff > 1.01 {
+				t.Fatalf("scheduled %d sends, analytic integral %.3f (off by %.3f, want ≤1)", len(s.Sends), want, diff)
+			}
+		})
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	for _, sc := range []Scenario{
+		{Kind: Diurnal, Rate: 6000, Duration: 300 * time.Millisecond},
+		{Kind: Hotspot, Rate: 6000, Duration: 300 * time.Millisecond},
+		{Kind: Disorder, Rate: 6000, Duration: 300 * time.Millisecond},
+	} {
+		t.Run(sc.Kind.String(), func(t *testing.T) {
+			a, err := sc.GenerateFrom(42, [2]uint64{3, 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sc.GenerateFrom(42, [2]uint64{3, 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same (scenario, seed, base) produced different schedules")
+			}
+			c, err := sc.GenerateFrom(43, [2]uint64{3, 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := len(c.Sends) == len(a.Sends)
+			if same {
+				same = false
+				for i := range a.Sends {
+					if a.Sends[i].Arr.Key != c.Sends[i].Arr.Key {
+						same = true // at least one key differs — seeds diverge
+						break
+					}
+				}
+				same = !same
+			}
+			if same {
+				t.Fatal("different seeds produced identical key sequences")
+			}
+		})
+	}
+}
+
+func TestScheduleSendsOrderedAndSequenced(t *testing.T) {
+	sc := Scenario{Kind: Constant, Rate: 20000, Duration: 300 * time.Millisecond}
+	base := [2]uint64{11, 4}
+	s, err := sc.GenerateFrom(1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := [2]uint64{base[0], base[1]}
+	for i, snd := range s.Sends {
+		if i > 0 && snd.Due < s.Sends[i-1].Due {
+			t.Fatalf("send %d due %v before predecessor %v", i, snd.Due, s.Sends[i-1].Due)
+		}
+		if snd.Due < 0 || snd.Due >= sc.Duration {
+			t.Fatalf("send %d due %v outside [0,%v)", i, snd.Due, sc.Duration)
+		}
+		st := snd.Arr.Stream
+		if snd.Seq != next[st] {
+			t.Fatalf("send %d stream %d seq %d, want arrival ordinal %d", i, st, snd.Seq, next[st])
+		}
+		next[st]++
+	}
+	if next[0] == base[0] || next[1] == base[1] {
+		t.Fatal("a stream received no sends")
+	}
+}
+
+func TestDisorderTimestamps(t *testing.T) {
+	sc := Scenario{Kind: Disorder, Rate: 30000, Duration: 400 * time.Millisecond, MaxDisorder: 5 * time.Millisecond}
+	s, err := sc.Generate(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := s.Scenario // defaults applied
+
+	// Timestamps are unique, strictly positive, and displaced from the
+	// scheduled send time by at most MaxDisorder (plus the ≤1ns-per-tie
+	// uniqueification bump).
+	seen := make(map[uint64]bool, len(s.Sends))
+	swaps := 0
+	for i, snd := range s.Sends {
+		ts := snd.Arr.TS
+		if ts == 0 {
+			t.Fatalf("send %d has zero timestamp", i)
+		}
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		seen[ts] = true
+		disp := int64(ts) - int64(snd.Due)
+		if disp < 0 {
+			disp = -disp
+		}
+		if disp > int64(def.MaxDisorder)+int64(time.Microsecond) {
+			t.Fatalf("send %d displaced %v, beyond MaxDisorder %v", i, time.Duration(disp), def.MaxDisorder)
+		}
+		if disp > int64(time.Microsecond) {
+			swaps++
+			if !def.inBurst(snd.Due) {
+				t.Fatalf("send %d outside the burst window was displaced %v", i, time.Duration(disp))
+			}
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("disorder burst displaced no timestamps")
+	}
+
+	// Seq must be the timestamp rank within the stream — the order a timed
+	// engine admits each stream in.
+	var byStream [2][]Send
+	for _, snd := range s.Sends {
+		byStream[snd.Arr.Stream] = append(byStream[snd.Arr.Stream], snd)
+	}
+	for st, sends := range byStream {
+		sort.Slice(sends, func(a, b int) bool { return sends[a].Arr.TS < sends[b].Arr.TS })
+		for rank, snd := range sends {
+			if snd.Seq != uint64(rank) {
+				t.Fatalf("stream %d: timestamp rank %d has seq %d", st, rank, snd.Seq)
+			}
+		}
+	}
+}
+
+// maxWindowFrac returns the largest fraction of keys that fits in any
+// half-open key window of the given width.
+func maxWindowFrac(keys []uint32, width uint32) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	sorted := append([]uint32(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	best, lo := 0, 0
+	for hi := range sorted {
+		for sorted[hi]-sorted[lo] >= width {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return float64(best) / float64(len(keys))
+}
+
+func TestHotspotKeyConcentration(t *testing.T) {
+	sc := Scenario{Kind: Hotspot, Rate: 5000, Duration: time.Second}
+	s, err := sc.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := s.Scenario
+	var burst, calm []uint32
+	for _, snd := range s.Sends {
+		if def.inBurst(snd.Due) {
+			burst = append(burst, snd.Arr.Key)
+		} else {
+			calm = append(calm, snd.Arr.Key)
+		}
+	}
+	width := uint32(float64(def.KeyDomain) * def.HotWidth)
+	if frac := maxWindowFrac(burst, width); frac < def.HotFrac-0.05 {
+		t.Fatalf("burst keys: densest %v-wide band holds %.3f, want ≥ HotFrac−0.05 = %.3f", width, frac, def.HotFrac-0.05)
+	}
+	if frac := maxWindowFrac(calm, width); frac > 0.2 {
+		t.Fatalf("calm keys: densest band holds %.3f — uniform keys should not concentrate", frac)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Scenario
+		wantErr bool
+	}{
+		{spec: "constant", want: Scenario{Kind: Constant}},
+		{spec: "diurnal(period=2s,amp=0.5)", want: Scenario{Kind: Diurnal, Period: 2 * time.Second, Amp: 0.5}},
+		{spec: "hotspot(start=100ms,len=250ms,spike=8,frac=0.95,width=0.01)", want: Scenario{
+			Kind: Hotspot, BurstStart: 100 * time.Millisecond, BurstLen: 250 * time.Millisecond,
+			Spike: 8, HotFrac: 0.95, HotWidth: 0.01,
+		}},
+		{spec: "disorder(maxdisorder=50ms,keys=65536)", want: Scenario{Kind: Disorder, MaxDisorder: 50 * time.Millisecond, KeyDomain: 65536}},
+		{spec: "slowsub(subs=3,delay=5ms)", want: Scenario{Kind: SlowSub, SlowSubs: 3, SlowSubDelay: 5 * time.Millisecond}},
+		{spec: "warp", wantErr: true},
+		{spec: "constant(", wantErr: true},
+		{spec: "constant(rate=5)", wantErr: true}, // rate is a run parameter, not a shape key
+		{spec: "diurnal(period)", wantErr: true},
+		{spec: "diurnal(period=-1s)", wantErr: true},
+		{spec: "disorder(keys=0)", wantErr: true},
+		{spec: "slowsub(subs=-1)", wantErr: true},
+	}
+	for _, tc := range cases {
+		sc, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", tc.spec, sc)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if sc != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, sc, tc.want)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	for _, sc := range []Scenario{
+		{Kind: Constant, Rate: 0, Duration: time.Second},
+		{Kind: Constant, Rate: 100, Duration: 0},
+		{Kind: Constant, Rate: math.Inf(1), Duration: time.Second},
+		{Kind: Diurnal, Rate: 100, Duration: time.Second, Amp: 1.5},
+		{Kind: Hotspot, Rate: 100, Duration: time.Second, HotFrac: 2},
+		{Kind: Hotspot, Rate: 100, Duration: time.Second, HotWidth: -0.1},
+	} {
+		if _, err := sc.Generate(1); err == nil {
+			t.Errorf("Generate accepted invalid scenario %+v", sc)
+		}
+	}
+}

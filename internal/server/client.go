@@ -32,6 +32,10 @@ type DialOptions struct {
 type Event struct {
 	// Type is the frame type: FrameMatch, FrameDrained, or FrameError.
 	Type byte
+	// At is the local receive timestamp, captured as soon as the frame is
+	// off the wire (before decoding) — the end-to-end latency tag the load
+	// harness charges match latencies against.
+	At time.Time
 	// Matches holds the decoded records of a FrameMatch event.
 	Matches []pimtree.Match
 	// Err holds the server's message for a FrameError event.
@@ -147,17 +151,18 @@ func (c *Client) ReadEvent() (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
+	at := time.Now()
 	switch typ {
 	case FrameMatch:
 		ms, err := decodeMatches(payload)
 		if err != nil {
 			return Event{}, err
 		}
-		return Event{Type: FrameMatch, Matches: ms}, nil
+		return Event{Type: FrameMatch, At: at, Matches: ms}, nil
 	case FrameDrained:
-		return Event{Type: FrameDrained}, nil
+		return Event{Type: FrameDrained, At: at}, nil
 	case FrameError:
-		return Event{Type: FrameError, Err: string(payload)}, nil
+		return Event{Type: FrameError, At: at, Err: string(payload)}, nil
 	default:
 		return Event{}, fmt.Errorf("unexpected %s frame from server", frameName(typ))
 	}

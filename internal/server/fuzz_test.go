@@ -1,0 +1,107 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"pimtree"
+)
+
+// FuzzParseFrame feeds arbitrary byte streams through the frame reader and
+// every payload decoder — the exact path a byte off the network takes —
+// checking the decoders never panic, never accept more than the frame
+// bound, and that whatever they do accept re-encodes to the identical
+// bytes (the decoders and encoders are exact inverses on valid payloads).
+//
+// CI runs this for a short budget on every push (see the fuzz step of the
+// test job); `go test -fuzz=FuzzParseFrame ./internal/server` explores
+// further.
+func FuzzParseFrame(f *testing.F) {
+	// Seeds: the malformed-frame conformance table's byte sequences, plus
+	// well-formed frames of every type.
+	f.Add(rawFrame(FrameIngest, []byte{0, 0, 0, 0, 1}))     // ingest before hello
+	f.Add(rawFrame(FrameHello, []byte{1}))                  // short hello payload
+	f.Add(helloBytes(99, 0))                                // bad version
+	f.Add(helloBytes(1, 0x80))                              // unknown flags
+	f.Add(helloBytes(1, FlagTimed))                         // timed flag (count engine)
+	f.Add(append(helloBytes(1, 0), rawFrame(0x7f, nil)...)) // unknown frame type
+	f.Add(append(helloBytes(1, 0), rawFrame(FrameMatch, make([]byte, recMatch))...))
+	f.Add(append(helloBytes(1, 0), rawFrame(FrameIngest, make([]byte, recCount+1))...)) // ragged
+	f.Add(append(helloBytes(1, 0), rawFrame(FrameIngest, []byte{9, 0, 0, 0, 1})...))    // bad stream
+	f.Add(append(helloBytes(1, 0), rawFrame(FrameIngest, make([]byte, 2048))...))       // oversized
+	f.Add(helloBytes(ProtocolVersion, FlagSubscribe|FlagTimed))
+	f.Add(rawFrame(FrameIngest, encodeArrivals([]pimtree.Arrival{
+		{Stream: pimtree.R, Key: 7}, {Stream: pimtree.S, Key: 9},
+	}, false)))
+	f.Add(rawFrame(FrameIngest, encodeArrivals([]pimtree.Arrival{
+		{Stream: pimtree.R, Key: 7, TS: 42}, {Stream: pimtree.S, Key: 9, TS: 43},
+	}, true)))
+	f.Add(rawFrame(FrameMatch, appendMatch(nil, pimtree.Match{ProbeStream: pimtree.S, ProbeSeq: 3, MatchSeq: 8})))
+	f.Add(rawFrame(FrameDrain, nil))
+	f.Add(rawFrame(FrameDrained, nil))
+	f.Add(rawFrame(FrameError, []byte("boom")))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})                         // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x02}) // hostile length prefix
+
+	const maxFrame = 4096
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := readFrame(r, maxFrame)
+			if err != nil {
+				if errors.Is(err, io.EOF) && r.Len() != 0 {
+					t.Fatalf("clean EOF with %d bytes unread", r.Len())
+				}
+				return // protocol error or truncation ends the stream
+			}
+			if len(payload) > maxFrame {
+				t.Fatalf("readFrame returned %d-byte payload above the %d bound", len(payload), maxFrame)
+			}
+			switch typ {
+			case FrameHello:
+				if version, flags, err := decodeHello(payload); err == nil {
+					if got := encodeHello(version, flags); !bytes.Equal(got, payload) {
+						t.Fatalf("hello round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameIngest:
+				for _, timed := range []bool{false, true} {
+					arrivals, err := decodeArrivals(payload, timed)
+					if err != nil {
+						continue
+					}
+					w := recCount
+					if timed {
+						w = recTimed
+					}
+					if len(arrivals) != len(payload)/w {
+						t.Fatalf("timed=%v: decoded %d arrivals from %d bytes", timed, len(arrivals), len(payload))
+					}
+					for i, a := range arrivals {
+						if a.Stream != pimtree.R && a.Stream != pimtree.S {
+							t.Fatalf("arrival %d: invalid stream %d accepted", i, a.Stream)
+						}
+					}
+					if got := encodeArrivals(arrivals, timed); !bytes.Equal(got, payload) {
+						t.Fatalf("timed=%v ingest round-trip: %x != %x", timed, got, payload)
+					}
+				}
+			case FrameMatch:
+				matches, err := decodeMatches(payload)
+				if err != nil {
+					continue
+				}
+				got := make([]byte, 0, len(payload))
+				for _, m := range matches {
+					got = appendMatch(got, m)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("match round-trip: %x != %x", got, payload)
+				}
+			}
+		}
+	})
+}
