@@ -12,6 +12,10 @@
 //   - counters (rebalances, migrated, sent, matches, ...) are never gated;
 //   - latency columns (µs, ms, latency, nanos fragments) are lower-is-better
 //     and fail on *increase* beyond -max-lat-regress;
+//   - allocation columns (alloc, B/op, B/tuple fragments) are lower-is-better
+//     and fail on *increase* beyond -max-alloc-regress — compared cell by
+//     cell in absolute terms rather than by geomean, because the healthy
+//     baseline value is exactly zero, which a log-mean cannot represent;
 //   - everything else (Mtps throughput, offered/s, cap/s rates) is
 //     higher-is-better and fails on *decrease* beyond -max-regress.
 //
@@ -53,6 +57,7 @@ var counterColumns = map[string]bool{
 	"matches":    true,
 	"trials":     true,
 	"errors":     true,
+	"gc cycles":  true,
 }
 
 // latencySubstrings classify lower-is-better time columns by fragment, so
@@ -60,18 +65,36 @@ var counterColumns = map[string]bool{
 // right direction without registering each column name here.
 var latencySubstrings = []string{"µs", "ms", "latency", "nanos"}
 
+// allocSubstrings classify GC-pressure columns (allocs/tuple, B/tuple and
+// the benchmem-style allocs/op, B/op). They are checked before the latency
+// fragments so "allocs/op" does not fall through to the rate bucket.
+var allocSubstrings = []string{"alloc", "b/op", "b/tuple"}
+
 // Cell directions.
 const (
 	dirSkip   = 0  // counters: never gated
 	dirHigher = 1  // throughput/rates: fail on decrease
 	dirLower  = -1 // latency: fail on increase
+	dirAlloc  = 2  // allocations: fail on increase, compared per cell
 )
+
+// allocSlack is the absolute headroom added to every alloc-cell bound. The
+// healthy baseline is exactly 0.00, where a fractional threshold alone would
+// make any measurement noise (background goroutines share the process-wide
+// GC counters) a failure; half an object or half a byte per tuple still
+// catches the one-allocation-per-tuple regressions the gate exists for.
+const allocSlack = 0.5
 
 // direction classifies a column name.
 func direction(name string) int {
 	lower := strings.ToLower(name)
 	if counterColumns[lower] {
 		return dirSkip
+	}
+	for _, frag := range allocSubstrings {
+		if strings.Contains(lower, frag) {
+			return dirAlloc
+		}
 	}
 	for _, frag := range latencySubstrings {
 		if strings.Contains(lower, frag) {
@@ -93,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		curPath   = fs.String("current", "", "report of the run under test")
 		maxReg    = fs.Float64("max-regress", 0.25, "maximum tolerated throughput decrease (fraction)")
 		maxLatReg = fs.Float64("max-lat-regress", 0, "maximum tolerated latency increase (fraction); 0 reports latency without gating it")
+		maxAllReg = fs.Float64("max-alloc-regress", 0.25, "maximum tolerated allocation increase (fraction, plus a fixed absolute slack)")
 		calibrate = fs.Bool("calibrate", true, "scale by the reports' host calibration ratio")
 		prefix    = fs.String("prefix", "abl-", "gate experiments whose id has this prefix")
 	)
@@ -118,8 +142,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *calibrate && base.CalibMtps > 0 && cur.CalibMtps > 0 {
 		scale = cur.CalibMtps / base.CalibMtps
 	}
-	fmt.Fprintf(stdout, "benchgate: calibration baseline=%.3f current=%.3f scale=%.3f threshold=%.0f%% lat-threshold=%.0f%%\n",
-		base.CalibMtps, cur.CalibMtps, scale, *maxReg*100, *maxLatReg*100)
+	fmt.Fprintf(stdout, "benchgate: calibration baseline=%.3f current=%.3f scale=%.3f threshold=%.0f%% lat-threshold=%.0f%% alloc-threshold=%.0f%%\n",
+		base.CalibMtps, cur.CalibMtps, scale, *maxReg*100, *maxLatReg*100, *maxAllReg*100)
 	if base.GOMAXPROCS != cur.GOMAXPROCS {
 		// The serial calibration corrects for single-thread speed, not core
 		// count, so parallel-scaling regressions are under-protected until
@@ -207,6 +231,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s %-16s %s geomean %.4f -> %.4f over %d cells (%.0f%% of calibrated baseline%s)\n",
 				status, b.ID, cl.name, gBase, gCur, cells, ratio*100, note)
 		}
+		// Alloc cells gate per cell, absolutely and uncalibrated: allocation
+		// counts are a property of the code, not of host speed, and the
+		// healthy baseline is 0.00 — a value geomean arithmetic cannot hold.
+		aBad, aCells, aDropped := compareAlloc(b.Table, c.Table, *maxAllReg)
+		present += aCells
+		if len(aDropped) > 0 {
+			fmt.Fprintf(stdout, "FAIL %-16s %d baseline alloc cell(s) missing or unparseable in current report: %s\n",
+				b.ID, len(aDropped), strings.Join(aDropped, ", "))
+			failures++
+		}
+		for _, bad := range aBad {
+			fmt.Fprintf(stdout, "FAIL %-16s alloc cell %s\n", b.ID, bad)
+			failures++
+		}
+		if aCells > 0 && len(aBad) == 0 {
+			fmt.Fprintf(stdout, "ok   %-16s alloc %d cell(s) within threshold (per-cell, uncalibrated)\n", b.ID, aCells)
+		}
 		if present == 0 {
 			fmt.Fprintf(stdout, "FAIL %-16s no comparable cells (refresh the baseline?)\n", b.ID)
 			failures++
@@ -249,9 +290,37 @@ func compare(base, cur bench.Table, dir int) (gBase, gCur float64, cells int, dr
 	return math.Exp(sumB / float64(cells)), math.Exp(sumC / float64(cells)), cells, dropped
 }
 
-// cellMap extracts a table's positive numeric cells whose column classifies
-// as dir, keyed by "<row label>|<column name>". The first column is the row
-// label.
+// compareAlloc gates allocation cells individually: a current cell fails
+// when it exceeds base*(1+thresh) + allocSlack. It returns descriptions of
+// the failing cells, the shared-cell count, and the sorted keys of baseline
+// alloc cells with no parseable counterpart in the current table.
+func compareAlloc(base, cur bench.Table, thresh float64) (bad []string, cells int, dropped []string) {
+	bc := cellMap(base, dirAlloc)
+	cc := cellMap(cur, dirAlloc)
+	keys := make([]string, 0, len(bc))
+	for key := range bc {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		vb := bc[key]
+		vc, ok := cc[key]
+		if !ok {
+			dropped = append(dropped, key)
+			continue
+		}
+		cells++
+		if bound := vb*(1+thresh) + allocSlack; vc > bound {
+			bad = append(bad, fmt.Sprintf("%s %.4f -> %.4f (max %.4f)", key, vb, vc, bound))
+		}
+	}
+	return bad, cells, dropped
+}
+
+// cellMap extracts a table's numeric cells whose column classifies as dir,
+// keyed by "<row label>|<column name>". The first column is the row label.
+// Geomean directions keep only positive values (log-mean domain); alloc
+// cells keep zero, the value the alloc gate exists to defend.
 func cellMap(t bench.Table, dir int) map[string]float64 {
 	out := make(map[string]float64)
 	for _, row := range t.Rows {
@@ -263,7 +332,7 @@ func cellMap(t bench.Table, dir int) map[string]float64 {
 				continue
 			}
 			v, err := strconv.ParseFloat(row[j], 64)
-			if err != nil || v <= 0 {
+			if err != nil || v < 0 || (v == 0 && dir != dirAlloc) {
 				continue
 			}
 			out[row[0]+"|"+t.Columns[j]] = v

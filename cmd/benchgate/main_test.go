@@ -145,6 +145,11 @@ func TestDirection(t *testing.T) {
 		{"lag p99 ms", dirLower},
 		{"tail latency", dirLower},
 		{"nanos/op", dirLower},
+		{"allocs/tuple", dirAlloc},
+		{"B/tuple", dirAlloc},
+		{"allocs/op", dirAlloc},
+		{"B/op", dirAlloc},
+		{"alloc objects", dirAlloc},
 		{"rebalances", dirSkip},
 		{"Rebalances", dirSkip},
 		{"migrated", dirSkip},
@@ -318,6 +323,122 @@ func TestGateLoadReportSelfRoundTrip(t *testing.T) {
 	code, out := latencyGate(t, rep, rep, "-max-lat-regress", "0.25")
 	if code != 0 || !strings.Contains(out, "pass") {
 		t.Fatalf("self-comparison failed (exit %d):\n%s", code, out)
+	}
+}
+
+// allocReport builds an abl-alloc-style report: a throughput column next to
+// per-tuple allocation cells whose healthy value is exactly zero.
+func allocReport(calib, mtps, allocs, bytes float64) bench.Report {
+	return bench.Report{
+		CalibMtps: calib,
+		Experiments: []bench.ExperimentResult{{
+			Table: bench.Table{
+				ID:      "abl-alloc",
+				Columns: []string{"runtime", "Mtps", "allocs/tuple", "B/tuple"},
+				Rows: [][]string{{
+					"serial",
+					fmt.Sprintf("%.4f", mtps),
+					fmt.Sprintf("%.4f", allocs),
+					fmt.Sprintf("%.4f", bytes),
+				}},
+			},
+		}},
+	}
+}
+
+func allocGate(t *testing.T, base, cur bench.Report, extra ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	b := writeReport(t, dir, "base.json", base)
+	c := writeReport(t, dir, "cur.json", cur)
+	return gate(t, append([]string{"-baseline", b, "-current", c}, extra...)...)
+}
+
+// A zero-allocation baseline must survive self-comparison — log-geomean
+// arithmetic cannot represent 0, which is why alloc cells compare per cell.
+func TestGateAllocZeroBaselineRoundTrip(t *testing.T) {
+	rep := allocReport(1.0, 2.0, 0, 0)
+	code, out := allocGate(t, rep, rep)
+	if code != 0 || !strings.Contains(out, "alloc 2 cell(s) within threshold") {
+		t.Fatalf("zero-alloc self-comparison failed (exit %d):\n%s", code, out)
+	}
+}
+
+// Introducing one allocation per tuple against a zero baseline must fail —
+// the regression the alloc gate exists to catch.
+func TestGateAllocFailsOnIncrease(t *testing.T) {
+	base := allocReport(1.0, 2.0, 0, 0)
+	code, out := allocGate(t, base, allocReport(1.0, 2.0, 1.0, 48.0))
+	if code != 1 || !strings.Contains(out, "serial|allocs/tuple") || !strings.Contains(out, "serial|B/tuple") {
+		t.Fatalf("1 alloc/tuple regression passed or was not named (exit %d):\n%s", code, out)
+	}
+}
+
+// Noise below the absolute slack on a zero baseline passes; above it fails.
+func TestGateAllocSlack(t *testing.T) {
+	base := allocReport(1.0, 2.0, 0, 0)
+	if code, out := allocGate(t, base, allocReport(1.0, 2.0, 0.01, 0.3)); code != 0 {
+		t.Fatalf("sub-slack noise failed the gate (exit %d):\n%s", code, out)
+	}
+	if code, _ := allocGate(t, base, allocReport(1.0, 2.0, 0.8, 0)); code != 1 {
+		t.Fatal("above-slack increase passed")
+	}
+}
+
+// Non-zero baselines gate proportionally, and -max-alloc-regress tightens
+// the bound like -max-regress does for throughput.
+func TestGateAllocProportionalThreshold(t *testing.T) {
+	base := allocReport(1.0, 2.0, 8.0, 256.0)
+	if code, out := allocGate(t, base, allocReport(1.0, 2.0, 9.0, 280.0)); code != 0 {
+		t.Fatalf("within-threshold increase failed (exit %d):\n%s", code, out)
+	}
+	if code, _ := allocGate(t, base, allocReport(1.0, 2.0, 12.0, 256.0)); code != 1 {
+		t.Fatal("+50% alloc increase passed the default threshold")
+	}
+	if code, _ := allocGate(t, base, allocReport(1.0, 2.0, 9.0, 280.0), "-max-alloc-regress", "0"); code != 1 {
+		t.Fatal("tighter alloc threshold did not fail")
+	}
+}
+
+// Alloc cells are never calibration-scaled: allocation counts are a property
+// of the code, not of host speed, so a faster host excuses nothing.
+func TestGateAllocIgnoresCalibration(t *testing.T) {
+	base := allocReport(1.0, 2.0, 0, 0)
+	code, _ := allocGate(t, base, allocReport(4.0, 8.0, 2.0, 64.0))
+	if code != 1 {
+		t.Fatal("faster-host calibration excused an alloc regression")
+	}
+}
+
+// An alloc cell that vanished from the current report fails the gate, like
+// dropped throughput and latency cells.
+func TestGateAllocDroppedCell(t *testing.T) {
+	base := allocReport(1.0, 2.0, 0, 0)
+	cur := allocReport(1.0, 2.0, 0, 0)
+	cur.Experiments[0].Table.Rows[0][2] = "-" // allocs/tuple unparseable
+	code, out := allocGate(t, base, cur)
+	if code != 1 || !strings.Contains(out, "serial|allocs/tuple") {
+		t.Fatalf("dropped alloc cell passed or was not named (exit %d):\n%s", code, out)
+	}
+}
+
+// Zero-valued alloc cells must be kept by cellMap — dropping them (as the
+// geomean directions do) would unhook the gate exactly at its target value.
+func TestCellMapKeepsZeroAllocCells(t *testing.T) {
+	tbl := bench.Table{
+		Columns: []string{"runtime", "Mtps", "allocs/tuple", "B/tuple"},
+		Rows:    [][]string{{"serial", "2.0", "0.0000", "0.0000"}},
+	}
+	m := cellMap(tbl, dirAlloc)
+	if len(m) != 2 {
+		t.Fatalf("alloc cellMap = %v, want both zero cells", m)
+	}
+	if v, ok := m["serial|allocs/tuple"]; !ok || v != 0 {
+		t.Fatalf("zero allocs/tuple cell dropped: %v", m)
+	}
+	// The throughput direction must not see the alloc columns.
+	if m := cellMap(tbl, dirHigher); len(m) != 1 {
+		t.Fatalf("alloc columns leaked into throughput direction: %v", m)
 	}
 }
 

@@ -71,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loopback   = fs.Bool("loopback", false, "drive an in-process engine+server instead of -addr")
 		jsonPath   = fs.String("json", "", "write a pimbench-format report to this file")
 		minSamples = fs.Uint64("min-samples", 0, "fail unless every scenario records at least this many latency samples with positive quantiles")
+		maxP999    = fs.Duration("max-p999", 0, "fail any scenario whose p999 end-to-end match latency exceeds this bound (0 = no bound)")
 
 		window    = fs.Int("w", 1<<14, "loopback count-window length (and MaxLive floor for timed scenarios)")
 		shards    = fs.Int("shards", 0, "loopback shard count (0 = GOMAXPROCS)")
@@ -211,6 +212,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fail = true
 				} else if res.Latency.Quantile(0.50) <= 0 || res.Latency.Quantile(0.99) <= 0 || res.Latency.Quantile(0.999) <= 0 {
 					fmt.Fprintf(stderr, "pimload: scenario %s: non-positive latency quantile\n", spec)
+					fail = true
+				}
+			}
+			if *maxP999 > 0 {
+				if p := time.Duration(res.Latency.Quantile(0.999)); p > *maxP999 {
+					fmt.Fprintf(stderr, "pimload: scenario %s: p999 %v exceeds -max-p999 %v\n",
+						spec, p.Round(time.Microsecond), *maxP999)
 					fail = true
 				}
 			}

@@ -113,6 +113,23 @@ func TestRunCapacityLoopback(t *testing.T) {
 	}
 }
 
+// -max-p999 turns the tail-latency bound into an exit-code gate: an
+// impossible bound fails the run, a generous one passes it — the assertion
+// the nightly GOMEMLIMIT load smoke relies on.
+func TestRunMaxP999(t *testing.T) {
+	args := []string{
+		"-loopback", "-scenario", "constant", "-rate", "3000", "-duration", "300ms",
+		"-w", "256", "-min-samples", "1",
+	}
+	code, _, errb := runCmd(t, append(args, "-max-p999", "1ns")...)
+	if code != 1 || !strings.Contains(errb, "exceeds -max-p999") {
+		t.Fatalf("impossible p999 bound passed (exit %d)\nstderr:\n%s", code, errb)
+	}
+	if code, _, errb := runCmd(t, append(args, "-max-p999", "1h")...); code != 0 {
+		t.Fatalf("generous p999 bound failed (exit %d)\nstderr:\n%s", code, errb)
+	}
+}
+
 func TestRunUsage(t *testing.T) {
 	cases := [][]string{
 		{},                                    // neither -addr nor -loopback

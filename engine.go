@@ -311,6 +311,12 @@ type Engine struct {
 	serialMatches atomic.Uint64
 	lastTS        uint64 // strict-mode timestamp guard (producer goroutine)
 	start         time.Time
+	gcBase        metrics.GCSnapshot // GC counters at Open; Stats/Close diff against it
+
+	// sharedBuf is PushBatch's ModeShared conversion buffer, owned by the
+	// producer goroutine and reused across calls so steady-state batch
+	// ingestion does not allocate.
+	sharedBuf []stream.Arrival
 
 	state atomic.Int32
 	bg    chan struct{} // abandoned Drain/Close teardown, awaited by Close
@@ -406,6 +412,7 @@ func Open(cfg Config) (*Engine, error) {
 		e.router = shard.NewRouter(rcfg, cc.QueueCapacity)
 	}
 	e.start = time.Now()
+	e.gcBase = metrics.ReadGC()
 	return e, nil
 }
 
@@ -535,7 +542,10 @@ func (e *Engine) PushBatch(batch []Arrival) error {
 		// gain (the ring copy happens either way, and one queue handoff per
 		// chunk amortizes the lock just as well).
 		const chunk = 4096
-		buf := make([]stream.Arrival, 0, min(len(batch), chunk))
+		if cap(e.sharedBuf) == 0 {
+			e.sharedBuf = make([]stream.Arrival, 0, chunk)
+		}
+		buf := e.sharedBuf
 		for lo := 0; lo < len(batch); lo += chunk {
 			hi := min(lo+chunk, len(batch))
 			buf = buf[:0]
@@ -611,7 +621,22 @@ func (e *Engine) Stats() RunStats {
 	}
 	st.Elapsed = time.Since(e.start)
 	st.Mtps = metrics.Mtps(st.Tuples, st.Elapsed)
+	e.fillGC(&st)
 	return st
+}
+
+// fillGC populates the GC-pressure fields of a RunStats from the delta
+// between the current runtime counters and the snapshot taken at Open.
+func (e *Engine) fillGC(st *RunStats) {
+	d := metrics.ReadGC().Sub(e.gcBase)
+	st.AllocObjects = d.AllocObjects
+	st.AllocBytes = d.AllocBytes
+	st.GCCycles = d.GCCycles
+	st.GCPauseTotal = time.Duration(d.GCPauseSecs * float64(time.Second))
+	if st.Tuples > 0 {
+		st.AllocsPerTuple = float64(d.AllocObjects) / float64(st.Tuples)
+		st.BytesPerTuple = float64(d.AllocBytes) / float64(st.Tuples)
+	}
 }
 
 // ShardLoads returns each shard's live load snapshot in the sharded modes
@@ -678,6 +703,13 @@ func (e *Engine) Drain(ctx context.Context) error {
 	case ModeShared:
 		return e.shared.Drain(ctx)
 	default:
+		if ctx.Done() == nil {
+			// Un-cancelable context (e.g. context.Background()): drain
+			// synchronously instead of spawning the watchdog goroutine, so a
+			// push-drain steady state stays allocation-free.
+			e.router.Drain()
+			return nil
+		}
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
@@ -786,6 +818,7 @@ func (e *Engine) finish(st join.Stats) RunStats {
 	if e.router != nil {
 		rs.Imbalance = shardImbalance(e.router.LoadSnapshot())
 	}
+	e.fillGC(&rs)
 	return rs
 }
 

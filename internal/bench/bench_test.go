@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-ooo",
 		"abl-engine",
 		"abl-serve",
+		"abl-alloc",
 		"model",
 	}
 	for _, id := range want {

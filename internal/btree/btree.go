@@ -31,6 +31,12 @@ type Tree struct {
 	first  *node // head of the leaf linked list
 	order  int   // max elements per leaf / max keys per inner node
 	length int
+
+	// freeLeaves recycles leaf nodes between merges and splits. A window
+	// workload that deletes and reinserts around a leaf-occupancy boundary
+	// ping-pongs merge→split at that boundary; reusing the merged-away node
+	// (and its pairs capacity) keeps that steady state allocation-free.
+	freeLeaves []*node
 }
 
 type node struct {
@@ -133,15 +139,28 @@ func (t *Tree) insert(n *node, p kv.Pair) (sep kv.Pair, right *node, added bool)
 
 // splitLeaf splits an overfull leaf in half, links the new right sibling into
 // the leaf list, and returns the separator (smallest element of the right
-// half).
+// half). The right half is copied out, so the left leaf keeps its full pairs
+// capacity for future inserts (capping it would force a reallocation on the
+// next append).
 func (t *Tree) splitLeaf(n *node) kv.Pair {
 	mid := len(n.pairs) / 2
-	right := &node{leaf: true}
-	right.pairs = append(right.pairs, n.pairs[mid:]...)
-	n.pairs = n.pairs[:mid:mid]
+	right := t.newLeaf()
+	right.pairs = append(right.pairs[:0], n.pairs[mid:]...)
+	n.pairs = n.pairs[:mid]
 	right.next = n.next
 	n.next = right
 	return right.pairs[0]
+}
+
+// newLeaf returns a leaf node, reusing a merged-away one when available.
+func (t *Tree) newLeaf() *node {
+	if k := len(t.freeLeaves); k > 0 {
+		nd := t.freeLeaves[k-1]
+		t.freeLeaves[k-1] = nil
+		t.freeLeaves = t.freeLeaves[:k-1]
+		return nd
+	}
+	return &node{leaf: true}
 }
 
 // splitInner splits an overfull inner node, promoting the middle separator.
@@ -197,20 +216,27 @@ func (t *Tree) rebalance(n *node, ci int) {
 		if len(child.pairs) >= t.minLeaf() {
 			return
 		}
-		// Borrow from left sibling.
+		// Borrow from left sibling. The prepend is done in place — building
+		// a fresh slice here would put an allocation on every borrow, which
+		// sliding-window deletes hit constantly.
 		if ci > 0 && len(n.children[ci-1].pairs) > t.minLeaf() {
 			left := n.children[ci-1]
 			last := left.pairs[len(left.pairs)-1]
 			left.pairs = left.pairs[:len(left.pairs)-1]
-			child.pairs = append([]kv.Pair{last}, child.pairs...)
+			child.pairs = append(child.pairs, kv.Pair{})
+			copy(child.pairs[1:], child.pairs)
+			child.pairs[0] = last
 			n.seps[ci-1] = child.pairs[0]
 			return
 		}
-		// Borrow from right sibling.
+		// Borrow from right sibling. Shift down in place: re-slicing the
+		// front off would strand capacity and force the sibling's appends to
+		// reallocate.
 		if ci < len(n.children)-1 && len(n.children[ci+1].pairs) > t.minLeaf() {
 			rightSib := n.children[ci+1]
 			first := rightSib.pairs[0]
-			rightSib.pairs = rightSib.pairs[1:]
+			copy(rightSib.pairs, rightSib.pairs[1:])
+			rightSib.pairs = rightSib.pairs[:len(rightSib.pairs)-1]
 			child.pairs = append(child.pairs, first)
 			n.seps[ci] = rightSib.pairs[0]
 			return
@@ -227,24 +253,32 @@ func (t *Tree) rebalance(n *node, ci int) {
 	if len(child.seps) >= t.minInner() {
 		return
 	}
-	// Borrow from left sibling through the parent separator.
+	// Borrow from left sibling through the parent separator (in-place
+	// prepends, same rationale as the leaf borrows).
 	if ci > 0 && len(n.children[ci-1].seps) > t.minInner() {
 		left := n.children[ci-1]
-		child.seps = append([]kv.Pair{n.seps[ci-1]}, child.seps...)
-		child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+		child.seps = append(child.seps, kv.Pair{})
+		copy(child.seps[1:], child.seps)
+		child.seps[0] = n.seps[ci-1]
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
 		n.seps[ci-1] = left.seps[len(left.seps)-1]
 		left.seps = left.seps[:len(left.seps)-1]
 		left.children = left.children[:len(left.children)-1]
 		return
 	}
-	// Borrow from right sibling.
+	// Borrow from right sibling (in-place front shifts).
 	if ci < len(n.children)-1 && len(n.children[ci+1].seps) > t.minInner() {
 		rightSib := n.children[ci+1]
 		child.seps = append(child.seps, n.seps[ci])
 		child.children = append(child.children, rightSib.children[0])
 		n.seps[ci] = rightSib.seps[0]
-		rightSib.seps = rightSib.seps[1:]
-		rightSib.children = rightSib.children[1:]
+		copy(rightSib.seps, rightSib.seps[1:])
+		rightSib.seps = rightSib.seps[:len(rightSib.seps)-1]
+		copy(rightSib.children, rightSib.children[1:])
+		rightSib.children[len(rightSib.children)-1] = nil
+		rightSib.children = rightSib.children[:len(rightSib.children)-1]
 		return
 	}
 	// Merge with a sibling.
@@ -255,13 +289,20 @@ func (t *Tree) rebalance(n *node, ci int) {
 	}
 }
 
-// mergeLeaves merges n.children[i+1] into n.children[i].
+// mergeLeaves merges n.children[i+1] into n.children[i] and recycles the
+// emptied right node through the tree's leaf free-list (bounded — the list
+// only needs to absorb the merge/split ping-pong, not a mass shrink).
 func (t *Tree) mergeLeaves(n *node, i int) {
 	left, right := n.children[i], n.children[i+1]
 	left.pairs = append(left.pairs, right.pairs...)
 	left.next = right.next
 	n.seps = append(n.seps[:i], n.seps[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	if len(t.freeLeaves) < 4 {
+		right.pairs = right.pairs[:0]
+		right.next = nil
+		t.freeLeaves = append(t.freeLeaves, right)
+	}
 }
 
 // mergeInners merges inner node n.children[i+1] into n.children[i], pulling
@@ -276,8 +317,11 @@ func (t *Tree) mergeInners(n *node, i int) {
 }
 
 // Query invokes emit for every element with lo <= Key <= hi in (Key, Ref)
-// order. emit returning false stops the scan early.
-func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
+// order. It returns true when emit asked to stop early and false when the
+// key range was exhausted — the distinction lets composite indexes chain
+// component queries without a wrapping closure (range exhaustion in one
+// component must not stop the next, but an emit refusal must).
+func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
 	n := t.descend(kv.Pair{Key: lo})
 	i := kv.LowerBound(n.pairs, lo)
 	for {
@@ -285,14 +329,103 @@ func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
 			p := n.pairs[i]
 			metrics.Load(kv.PairBytes)
 			if p.Key > hi {
-				return
+				return false
 			}
 			if !emit(p) {
-				return
+				return true
 			}
 		}
 		if n.next == nil {
-			return
+			return false
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// QueryPairs is the columnar form of Query: instead of one callback per
+// element it emits each leaf's in-range run as one contiguous []kv.Pair
+// slice, so callers iterate cache-resident memory with no per-element
+// indirect call. The slices alias tree-owned storage and are only valid
+// until the next mutation; emit must not retain them. Returns true when
+// emit asked to stop, false when the range was exhausted.
+func (t *Tree) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	n := t.descend(kv.Pair{Key: lo})
+	i := kv.LowerBound(n.pairs, lo)
+	for {
+		j := len(n.pairs)
+		if j > 0 && n.pairs[j-1].Key > hi {
+			j = i + kv.UpperBound(n.pairs[i:], hi)
+			if i < j {
+				metrics.Load((j - i) * kv.PairBytes)
+				emit(n.pairs[i:j])
+			}
+			return false
+		}
+		if i < j {
+			metrics.Load((j - i) * kv.PairBytes)
+			if !emit(n.pairs[i:j]) {
+				return true
+			}
+		}
+		if n.next == nil {
+			return false
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// QueryFrom walks elements >= start in order until one exceeds hi or emit
+// refuses, returning true in the emit-refusal case only. It is the
+// range-bounded form of ScanFrom that PIM-Tree's template-interval scan
+// uses to cross subindex boundaries without allocating a bounds-checking
+// closure per subindex.
+func (t *Tree) QueryFrom(start kv.Pair, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
+	n := t.descend(start)
+	i := lowerBoundPair(n.pairs, start)
+	for {
+		for ; i < len(n.pairs); i++ {
+			p := n.pairs[i]
+			metrics.Load(kv.PairBytes)
+			if p.Key > hi {
+				return false
+			}
+			if !emit(p) {
+				return true
+			}
+		}
+		if n.next == nil {
+			return false
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// QueryFromPairs is the columnar form of QueryFrom (per-leaf contiguous
+// slices, same aliasing caveat as QueryPairs).
+func (t *Tree) QueryFromPairs(start kv.Pair, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	n := t.descend(start)
+	i := lowerBoundPair(n.pairs, start)
+	for {
+		j := len(n.pairs)
+		if j > 0 && n.pairs[j-1].Key > hi {
+			j = i + kv.UpperBound(n.pairs[i:], hi)
+			if i < j {
+				metrics.Load((j - i) * kv.PairBytes)
+				emit(n.pairs[i:j])
+			}
+			return false
+		}
+		if i < j {
+			metrics.Load((j - i) * kv.PairBytes)
+			if !emit(n.pairs[i:j]) {
+				return true
+			}
+		}
+		if n.next == nil {
+			return false
 		}
 		n = n.next
 		i = 0
@@ -388,6 +521,7 @@ func (t *Tree) Reset() {
 	t.root = leaf
 	t.first = leaf
 	t.length = 0
+	t.freeLeaves = nil
 }
 
 // MemoryStats describes the heap footprint of the tree, for Figure 11a.

@@ -242,22 +242,52 @@ func (t *Tree) Contains(p kv.Pair) bool {
 
 // Query emits every element with lo <= Key <= hi in order, traversing leaves
 // through side pointers. Each leaf is read from a single consistent chain
-// snapshot.
-func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
+// snapshot. It returns true when emit asked to stop early, false when the
+// range was exhausted.
+func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
 	pid, head := t.findLeaf(lo)
 	for {
 		pairs, base := materialize(head)
 		metrics.Load(len(pairs) * kv.PairBytes)
 		for _, p := range pairs[kv.LowerBound(pairs, lo):] {
 			if p.Key > hi {
-				return
+				return false
 			}
 			if !emit(p) {
-				return
+				return true
 			}
 		}
 		if base.high > uint64(hi) || base.side == 0 {
-			return
+			return false
+		}
+		pid = base.side
+		head = t.mapping[pid].Load()
+	}
+}
+
+// QueryPairs is the columnar form of Query: each leaf's in-range run is
+// emitted as one contiguous []kv.Pair from that leaf's consistent snapshot
+// (consolidated pages emit their base array directly; pages with pending
+// deltas emit the materialized copy). Slices are only valid during the emit
+// call. Returns true when emit asked to stop, false otherwise.
+func (t *Tree) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	pid, head := t.findLeaf(lo)
+	for {
+		pairs, base := materialize(head)
+		metrics.Load(len(pairs) * kv.PairBytes)
+		i := kv.LowerBound(pairs, lo)
+		if len(pairs) > 0 && pairs[len(pairs)-1].Key > hi {
+			j := i + kv.UpperBound(pairs[i:], hi)
+			if i < j && !emit(pairs[i:j]) {
+				return true
+			}
+			return false
+		}
+		if i < len(pairs) && !emit(pairs[i:]) {
+			return true
+		}
+		if base.high > uint64(hi) || base.side == 0 {
+			return false
 		}
 		pid = base.side
 		head = t.mapping[pid].Load()

@@ -123,20 +123,25 @@ func (t *IMTree) Merge(live func(kv.Pair) bool) time.Duration {
 // Query emits every element with lo <= Key <= hi: first the immutable
 // component, then the mutable one. Results may include expired tuples; the
 // caller filters them against the window, exactly as the paper's join does.
-func (t *IMTree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
-	stopped := false
-	wrap := func(p kv.Pair) bool {
-		if !emit(p) {
-			stopped = true
-			return false
-		}
+// Returns true when emit asked to stop early. The component queries report
+// emit-refusal themselves, so the composition needs no wrapping closure —
+// this method is allocation-free.
+func (t *IMTree) Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
+	if t.ts.Query(lo, hi, emit) {
 		return true
 	}
-	t.ts.Query(lo, hi, wrap)
-	if stopped {
-		return
+	return t.ti.Query(lo, hi, emit)
+}
+
+// QueryPairs is the columnar form of Query: contiguous in-range runs from
+// the immutable component's leaf array, then from the mutable B+-tree's
+// leaves. Slices alias index-owned storage and are only valid during the
+// emit call. Returns true when emit asked to stop early.
+func (t *IMTree) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	if t.ts.QueryPairs(lo, hi, emit) {
+		return true
 	}
-	t.ti.Query(lo, hi, wrap)
+	return t.ti.QueryPairs(lo, hi, emit)
 }
 
 // QueryTS searches only the immutable component (used by instrumented

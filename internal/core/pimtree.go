@@ -197,56 +197,78 @@ func (t *PIMTree) NeedsMerge() bool { return t.tiLen.Load() >= int64(t.threshold
 // lock-free, then the matching TI subindexes under handed-over locks
 // (Algorithm 2). Safe for concurrent use with Insert. Results may include
 // expired tuples; callers filter against the window.
-func (t *PIMTree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
-	stopped := false
-	wrap := func(p kv.Pair) bool {
-		if !emit(p) {
-			stopped = true
-			return false
-		}
+func (t *PIMTree) Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
+	if t.ts.Query(lo, hi, emit) {
 		return true
 	}
-	t.ts.Query(lo, hi, wrap)
-	if stopped {
-		return
+	return t.queryTI(lo, hi, emit)
+}
+
+// QueryPairs is the columnar form of Query: contiguous in-range runs from
+// the immutable component's leaf array, then per-leaf runs from the TI
+// subindexes under the same lock-handoff protocol as queryTI. Slices alias
+// index-owned storage and are only valid during the emit call (for TI, only
+// while the emitting subindex's lock is held — emit must consume, not
+// retain). Returns true when emit asked to stop early.
+func (t *PIMTree) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	if t.ts.QueryPairs(lo, hi, emit) {
+		return true
 	}
-	t.queryTI(lo, hi, wrap)
+	return t.queryTIPairs(lo, hi, emit)
 }
 
 // queryTI scans TI subindexes for [lo, hi], moving from a subindex to its
 // successor with lock handoff when the scan crosses the partition boundary
-// (Algorithm 2 lines 16–39).
-func (t *PIMTree) queryTI(lo, hi uint32, emit func(kv.Pair) bool) {
+// (Algorithm 2 lines 16–39). The per-subindex scans are range-bounded
+// B+-tree walks (QueryFrom/Query), so an emit refusal and range exhaustion
+// are distinguished by the return value alone — no bounds-checking closure
+// is allocated. Returns true when emit asked to stop early.
+func (t *PIMTree) queryTI(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
 	start := t.route(lo)
 	i := start
 	t.lock(i)
 	for {
-		callerStop := false
-		rangeDone := false
-		scan := func(p kv.Pair) bool {
-			if p.Key > hi {
-				rangeDone = true
-				return false
-			}
-			if !emit(p) {
-				callerStop = true
-				return false
-			}
-			return true
-		}
 		if i == start {
-			t.subs[i].bt.ScanFrom(kv.Pair{Key: lo}, scan)
+			stopped = t.subs[i].bt.QueryFrom(kv.Pair{Key: lo}, hi, emit)
 		} else {
 			// Successor subindexes are scanned from their first element.
-			t.subs[i].bt.Scan(scan)
+			stopped = t.subs[i].bt.Query(0, hi, emit)
 		}
-		// Stop when the caller asked to, the range is exhausted, the range
-		// cannot extend past this partition's bound, or this is the last
-		// partition; otherwise hand the lock to the successor
-		// (acquire-then-release, Algorithm 2 lines 28–30).
-		if callerStop || rangeDone || i >= len(t.subs)-1 || hi <= t.bounds[i] {
+		// Stop when the caller asked to, the range cannot extend past this
+		// partition's bound, or this is the last partition; otherwise hand
+		// the lock to the successor (acquire-then-release, Algorithm 2 lines
+		// 28–30). Range exhaustion inside a subindex need not be signalled
+		// separately: an exhausted [lo, hi] implies hi <= bounds[i] ends the
+		// walk here anyway, and an exhausted subindex just hands over.
+		if stopped || i >= len(t.subs)-1 || hi <= t.bounds[i] {
 			t.unlock(i)
-			return
+			return stopped
+		}
+		if t.cfg.SingleLock || t.cfg.NoLocks {
+			i++
+			continue
+		}
+		t.subs[i+1].mu.Lock()
+		t.subs[i].mu.Unlock()
+		i++
+	}
+}
+
+// queryTIPairs is the columnar queryTI: identical traversal and locking,
+// with per-leaf contiguous emission.
+func (t *PIMTree) queryTIPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	start := t.route(lo)
+	i := start
+	t.lock(i)
+	for {
+		if i == start {
+			stopped = t.subs[i].bt.QueryFromPairs(kv.Pair{Key: lo}, hi, emit)
+		} else {
+			stopped = t.subs[i].bt.QueryPairs(0, hi, emit)
+		}
+		if stopped || i >= len(t.subs)-1 || hi <= t.bounds[i] {
+			t.unlock(i)
+			return stopped
 		}
 		if t.cfg.SingleLock || t.cfg.NoLocks {
 			i++

@@ -234,19 +234,40 @@ func (t *Tree) LowerBound(key uint32) int {
 	return i
 }
 
-// Query invokes emit for every element with lo <= Key <= hi in order; emit
-// returning false stops early.
-func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) {
+// Query invokes emit for every element with lo <= Key <= hi in order. It
+// returns true when emit asked to stop early, false when the range was
+// exhausted (see btree.Query for why composite indexes need the
+// distinction).
+func (t *Tree) Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool) {
 	for i := t.LowerBound(lo); i < len(t.leaves); i++ {
 		p := t.leaves[i]
 		metrics.Load(kv.PairBytes)
 		if p.Key > hi {
-			return
+			return false
 		}
 		if !emit(p) {
-			return
+			return true
 		}
 	}
+	return false
+}
+
+// QueryPairs is the columnar form of Query: the leaf array is one
+// contiguous sorted slice, so the whole in-range run is emitted as a single
+// []kv.Pair. The slice aliases tree-owned storage and is only valid until
+// the next Reset/Build; emit must not retain it. Returns true when emit
+// asked to stop, false otherwise.
+func (t *Tree) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool) {
+	i := t.LowerBound(lo)
+	if i >= len(t.leaves) {
+		return false
+	}
+	j := i + kv.UpperBound(t.leaves[i:], hi)
+	if i == j {
+		return false
+	}
+	metrics.Load((j - i) * kv.PairBytes)
+	return !emit(t.leaves[i:j])
 }
 
 // SubtreeBounds returns, for each node at depth d, the largest key routed to

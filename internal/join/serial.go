@@ -82,7 +82,12 @@ func NLWJ(arrivals []stream.Arrival, cfg SerialConfig) Stats {
 type serialIndex interface {
 	Insert(p kv.Pair)
 	Remove(p kv.Pair)
-	Query(lo, hi uint32, emit func(kv.Pair) bool)
+	Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool)
+	// QueryPairs is the columnar form of Query: in-range elements arrive as
+	// contiguous []kv.Pair runs aliasing index-owned storage, valid only
+	// during the emit call. The hot probe loops use it so the inner band
+	// scan runs branch-light over contiguous memory.
+	QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool)
 	Maintain(win *window.Ring)
 	Merges() (int, time.Duration)
 }
@@ -91,20 +96,30 @@ type serialIndex interface {
 // deletes, no maintenance).
 type btreeIndex struct{ t *btree.Tree }
 
-func (x *btreeIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *btreeIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
-func (x *btreeIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *btreeIndex) Maintain(*window.Ring)                        {}
-func (x *btreeIndex) Merges() (int, time.Duration)                 { return 0, 0 }
+func (x *btreeIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *btreeIndex) Remove(p kv.Pair) { x.t.Delete(p) }
+func (x *btreeIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *btreeIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *btreeIndex) Maintain(*window.Ring)        {}
+func (x *btreeIndex) Merges() (int, time.Duration) { return 0, 0 }
 
 // bwIndex adapts the Bw-Tree (eager deletes like B+-Tree).
 type bwIndex struct{ t *bwtree.Tree }
 
-func (x *bwIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *bwIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
-func (x *bwIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *bwIndex) Maintain(*window.Ring)                        {}
-func (x *bwIndex) Merges() (int, time.Duration)                 { return 0, 0 }
+func (x *bwIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *bwIndex) Remove(p kv.Pair) { x.t.Delete(p) }
+func (x *bwIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *bwIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *bwIndex) Maintain(*window.Ring)        {}
+func (x *bwIndex) Merges() (int, time.Duration) { return 0, 0 }
 
 // chainIdx adapts the chained index (coarse disposal in Maintain).
 type chainIdx struct {
@@ -116,9 +131,14 @@ func (x *chainIdx) Insert(p kv.Pair) {
 	x.t.Insert(p, x.seq)
 	x.seq++
 }
-func (x *chainIdx) Remove(kv.Pair)                               {}
-func (x *chainIdx) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *chainIdx) Merges() (int, time.Duration)                 { return 0, 0 }
+func (x *chainIdx) Remove(kv.Pair) {}
+func (x *chainIdx) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *chainIdx) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *chainIdx) Merges() (int, time.Duration) { return 0, 0 }
 func (x *chainIdx) Maintain(win *window.Ring) {
 	if x.seq > uint64(win.W()) {
 		x.t.Advance(x.seq - uint64(win.W()))
@@ -129,10 +149,15 @@ func (x *chainIdx) Maintain(win *window.Ring) {
 // the window and physically discarded at merge time.
 type imIndex struct{ t *core.IMTree }
 
-func (x *imIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *imIndex) Remove(kv.Pair)                               {}
-func (x *imIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *imIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
+func (x *imIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *imIndex) Remove(kv.Pair)   {}
+func (x *imIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *imIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *imIndex) Merges() (int, time.Duration) { return x.t.Merges() }
 func (x *imIndex) Maintain(win *window.Ring) {
 	if x.t.NeedsMerge() {
 		x.t.Merge(func(p kv.Pair) bool { return win.Live(p.Ref) })
@@ -142,10 +167,15 @@ func (x *imIndex) Maintain(win *window.Ring) {
 // pimIndex adapts the PIM-Tree (same disposal policy as IM-Tree).
 type pimIndex struct{ t *core.PIMTree }
 
-func (x *pimIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *pimIndex) Remove(kv.Pair)                               {}
-func (x *pimIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *pimIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
+func (x *pimIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *pimIndex) Remove(kv.Pair)   {}
+func (x *pimIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *pimIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *pimIndex) Merges() (int, time.Duration) { return x.t.Merges() }
 func (x *pimIndex) Maintain(win *window.Ring) {
 	if x.t.NeedsMerge() {
 		x.t.MergeInPlace(func(p kv.Pair) bool { return win.Live(p.Ref) })

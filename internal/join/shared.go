@@ -305,9 +305,9 @@ func (r *sharedRun) publish(a stream.Arrival) {
 	st := &r.state[slot]
 	st.count = 0
 	st.completed.Store(false)
-	if r.results != nil {
-		r.results[slot] = nil
-	}
+	// r.results[slot] is left in place: the retired tenant's slice storage
+	// is recycled by the worker that processes the new tenant (process
+	// truncates it before appending).
 	r.arrivals[slot] = a
 	r.appended++
 }
@@ -537,13 +537,14 @@ func (r *sharedRun) expireBw(sid int, bound uint64) {
 // worker is the main loop of Section 4.1: acquire, generate results, update
 // the index, propagate, and volunteer for merging.
 func (r *sharedRun) worker(id int) {
+	ps := newProbeScratch(r)
 	for {
 		lo, hi, updates, _ := r.acquire(id)
 		if lo >= hi {
 			return
 		}
 		for i := lo; i < hi; i++ {
-			r.process(i)
+			r.process(ps, i)
 			if updates {
 				r.indexUpdate(i)
 			}
@@ -585,10 +586,75 @@ func (r *sharedRun) query(sid uint8, lo, hi uint32, emit func(kv.Pair) bool) {
 	r.bw[sid].Query(lo, hi, emit)
 }
 
+// queryPairs is the columnar query: candidates arrive as contiguous
+// []kv.Pair runs aliasing index-owned storage, valid during emit only.
+func (r *sharedRun) queryPairs(sid uint8, lo, hi uint32, emit func([]kv.Pair) bool) {
+	if r.cfg.Index == IndexPIMTree {
+		r.pim[sid].Load().QueryPairs(lo, hi, emit)
+		return
+	}
+	r.bw[sid].QueryPairs(lo, hi, emit)
+}
+
+// probeScratch is one worker's reusable probe state: the per-tuple probe
+// parameters live in fields and the two emit callbacks are built once per
+// worker, so process never materializes an escaping closure or allocates a
+// result slice in steady state (the matched slice recycles the ring slot's
+// previous storage).
+type probeScratch struct {
+	r        *sharedRun
+	opp      *window.Concurrent
+	lo, hi   uint32
+	te, tl   uint64
+	edge     uint64
+	collect  bool
+	count    int64
+	matched  []uint64
+	emitRun  func([]kv.Pair) bool
+	emitScan func(key uint32, seq uint64) bool
+}
+
+func newProbeScratch(r *sharedRun) *probeScratch {
+	ps := &probeScratch{r: r}
+	ps.emitRun = ps.indexHits
+	ps.emitScan = ps.scanHit
+	return ps
+}
+
+// indexHits consumes one contiguous candidate run of the index part:
+// entries strictly before the edge snapshot (later ones are covered by the
+// linear scan, avoiding duplicates) and inside [te, tl) (window filtering
+// of expired or too-new entries).
+func (ps *probeScratch) indexHits(pairs []kv.Pair) bool {
+	opp := ps.opp
+	for _, p := range pairs {
+		key2, seq2, ok := opp.Get(p.Ref)
+		if ok && key2 == p.Key && seq2 >= ps.te && seq2 < ps.edge {
+			ps.count++
+			if ps.collect {
+				ps.matched = append(ps.matched, seq2)
+			}
+		}
+	}
+	return true
+}
+
+// scanHit is the linear part's per-tuple callback over the non-indexed
+// window region.
+func (ps *probeScratch) scanHit(key uint32, seq uint64) bool {
+	if key >= ps.lo && key <= ps.hi {
+		ps.count++
+		if ps.collect {
+			ps.matched = append(ps.matched, seq)
+		}
+	}
+	return true
+}
+
 // process implements result generation (Section 4.1): an index lookup
 // restricted to sequence numbers before the edge snapshot, plus a linear
 // window scan from the edge to the tl snapshot (Figure 6).
-func (r *sharedRun) process(i int) {
+func (r *sharedRun) process(ps *probeScratch, i int) {
 	slot := i % r.capN
 	a := r.arrivals[slot]
 	oppID := r.oppositeID(a.Stream)
@@ -605,40 +671,31 @@ func (r *sharedRun) process(i int) {
 		edgeSnap = tl
 	}
 
-	var count int64
-	var matched []uint64
-	record := func(seq uint64) {
-		count++
-		if r.results != nil {
-			matched = append(matched, seq)
-		}
+	ps.opp = opp
+	ps.lo, ps.hi = lo, hi
+	ps.te, ps.tl = te, tl
+	ps.edge = edgeSnap
+	ps.count = 0
+	ps.collect = r.results != nil
+	if ps.collect {
+		// Recycle the retired tenant's slice storage: the propagation
+		// frontier retired it before the producer republished the slot.
+		ps.matched = r.results[slot][:0]
 	}
 
-	// Index part: accept entries strictly before the edge snapshot (later
-	// ones are covered by the linear scan, avoiding duplicates) and inside
-	// [te, tl) (window filtering of expired or too-new entries).
-	r.query(oppID, lo, hi, func(p kv.Pair) bool {
-		key2, seq2, ok := opp.Get(p.Ref)
-		if ok && key2 == p.Key && seq2 >= te && seq2 < edgeSnap {
-			record(seq2)
-		}
-		return true
-	})
+	// Index part.
+	r.queryPairs(oppID, lo, hi, ps.emitRun)
 	// Linear part: the non-indexed window region.
 	from := edgeSnap
 	if from < te {
 		from = te
 	}
-	opp.ScanRange(from, tl, func(key uint32, seq uint64) bool {
-		if key >= lo && key <= hi {
-			record(seq)
-		}
-		return true
-	})
+	opp.ScanRange(from, tl, ps.emitScan)
 
-	r.state[slot].count = count
-	if r.results != nil {
-		r.results[slot] = matched
+	r.state[slot].count = ps.count
+	if ps.collect {
+		r.results[slot] = ps.matched
+		ps.matched = nil
 	}
 	// completed is NOT set here: it is the retire gate for ring-slot reuse,
 	// and the worker still has to read the slot in indexUpdate. The worker

@@ -17,6 +17,17 @@ type Streaming struct {
 	cfg   SerialConfig
 	rings [2]*window.Ring
 	idxs  [2]serialIndex
+
+	// Probe state for the zero-allocation hot path: the per-push probe
+	// parameters live in struct fields and the index callback is built once
+	// here, so Push never materializes an escaping closure. (A closure
+	// literal passed through the serialIndex interface is conservatively
+	// heap-allocated on every call; a cached func value is not.)
+	probeEmit   func([]kv.Pair) bool
+	probeOpp    *window.Ring
+	probeStream uint8
+	probeSeq    uint64
+	probeHits   int
 }
 
 // NewStreaming builds an incremental IBWJ engine from the serial config.
@@ -32,7 +43,23 @@ func NewStreaming(cfg SerialConfig) *Streaming {
 		s.rings[1] = window.NewRing(ws)
 		s.idxs[1] = newSerialIndex(cfg.Index, ws, cfg)
 	}
+	s.probeEmit = s.emitPairs
 	return s
+}
+
+// emitPairs consumes one contiguous candidate run from the probed index,
+// resolving each entry against the opposite window. It is the single cached
+// callback behind every Push probe (see the probe fields on Streaming).
+func (s *Streaming) emitPairs(ps []kv.Pair) bool {
+	for _, p := range ps {
+		if _, seq, live := s.probeOpp.Resolve(p.Ref); live {
+			s.probeHits++
+			if s.cfg.Sink != nil {
+				s.cfg.Sink(s.probeStream, s.probeSeq, seq)
+			}
+		}
+	}
+	return true
 }
 
 // Push processes one arrival through the three IBWJ steps and returns the
@@ -46,17 +73,13 @@ func (s *Streaming) Push(a stream.Arrival) (matches int) {
 	}
 	opp, oppIdx := s.rings[oppID], s.idxs[oppID]
 	lo, hi := s.cfg.Band.Range(a.Key)
-	probeSeq := own.Head()
 
-	oppIdx.Query(lo, hi, func(p kv.Pair) bool {
-		if _, seq, live := opp.Resolve(p.Ref); live {
-			matches++
-			if s.cfg.Sink != nil {
-				s.cfg.Sink(a.Stream, probeSeq, seq)
-			}
-		}
-		return true
-	})
+	s.probeOpp = opp
+	s.probeStream = a.Stream
+	s.probeSeq = own.Head()
+	s.probeHits = 0
+	oppIdx.QueryPairs(lo, hi, s.probeEmit)
+	matches = s.probeHits
 
 	ref, _, expired, hasExpired := own.Append(a.Key)
 	if hasExpired {

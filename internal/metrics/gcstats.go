@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// GCSnapshot is a point-in-time reading of the Go runtime's allocation and
+// garbage-collection counters, sourced from runtime/metrics. Engine
+// sessions snapshot it at Open and diff against a later snapshot to report
+// per-tuple allocation rates and GC pause totals — the first-class GC
+// observability behind Engine.Stats, /stats, and /metrics.
+type GCSnapshot struct {
+	AllocObjects uint64  // cumulative heap objects allocated (/gc/heap/allocs:objects)
+	AllocBytes   uint64  // cumulative heap bytes allocated (/gc/heap/allocs:bytes)
+	GCCycles     uint64  // completed GC cycles (/gc/cycles/total:gc-cycles)
+	GCPauseSecs  float64 // approximate total stop-the-world pause seconds (/sched/pauses/total/gc:seconds)
+}
+
+// gcSampleNames is the fixed metric set ReadGC reads; the sample array
+// itself lives on the caller's stack.
+var gcSampleNames = [...]string{
+	"/gc/heap/allocs:objects",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// ReadGC reads the current GC counters. The pause total is reconstructed
+// from the pause histogram by bucket-midpoint weighting, so it is an
+// approximation with the histogram's bucket resolution.
+func ReadGC() GCSnapshot {
+	var samples [len(gcSampleNames)]metrics.Sample
+	for i := range samples {
+		samples[i].Name = gcSampleNames[i]
+	}
+	metrics.Read(samples[:])
+	var s GCSnapshot
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		s.AllocObjects = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		s.AllocBytes = samples[1].Value.Uint64()
+	}
+	if samples[2].Value.Kind() == metrics.KindUint64 {
+		s.GCCycles = samples[2].Value.Uint64()
+	}
+	if samples[3].Value.Kind() == metrics.KindFloat64Histogram {
+		s.GCPauseSecs = histTotal(samples[3].Value.Float64Histogram())
+	}
+	return s
+}
+
+// Sub returns the counter deltas s - base (zero floor: a fresh snapshot
+// diffed against a later one reads as zero rather than wrapping).
+func (s GCSnapshot) Sub(base GCSnapshot) GCSnapshot {
+	d := GCSnapshot{}
+	if s.AllocObjects > base.AllocObjects {
+		d.AllocObjects = s.AllocObjects - base.AllocObjects
+	}
+	if s.AllocBytes > base.AllocBytes {
+		d.AllocBytes = s.AllocBytes - base.AllocBytes
+	}
+	if s.GCCycles > base.GCCycles {
+		d.GCCycles = s.GCCycles - base.GCCycles
+	}
+	if s.GCPauseSecs > base.GCPauseSecs {
+		d.GCPauseSecs = s.GCPauseSecs - base.GCPauseSecs
+	}
+	return d
+}
+
+// histTotal sums a runtime histogram by bucket midpoint × count. Buckets
+// with infinite edges contribute at their finite edge.
+func histTotal(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		total += mid * float64(count)
+	}
+	return total
+}

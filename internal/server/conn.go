@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -129,15 +130,18 @@ func (c *conn) abort(msg string) {
 	c.close()
 }
 
-// reader owns the inbound half of the connection.
+// reader owns the inbound half of the connection. The frame payload buffer
+// is per-connection (readFrameInto) and decoded batches come from the
+// arrival pool, so steady-state ingest reads without allocating.
 func (c *conn) reader() {
 	defer c.srv.readerWg.Done()
 	br := bufio.NewReaderSize(c.nc, 1<<16)
 	if ok := c.handshake(br); !ok {
 		return
 	}
+	var rbuf []byte
 	for {
-		typ, payload, err := readFrame(br, c.srv.opts.MaxFrame)
+		typ, payload, err := readFrameInto(br, c.srv.opts.MaxFrame, &rbuf)
 		switch {
 		case err == io.EOF:
 			// Clean end of ingest. A subscriber keeps receiving matches
@@ -157,16 +161,21 @@ func (c *conn) reader() {
 		}
 		switch typ {
 		case FrameIngest:
-			batch, derr := decodeArrivals(payload, c.timed)
+			bp := getArrivalBatch()
+			batch, derr := decodeArrivalsInto((*bp)[:0], payload, c.timed)
 			if derr != nil {
+				putArrivalBatch(bp)
 				c.abort(derr.Error())
 				return
 			}
+			*bp = batch
 			c.srv.ingestFrames.Add(1)
 			if len(batch) == 0 {
+				putArrivalBatch(bp)
 				continue
 			}
-			if serr := c.srv.submit(ingestReq{c: c, batch: batch}); serr != nil {
+			if serr := c.srv.submit(ingestReq{c: c, batch: bp}); serr != nil {
+				putArrivalBatch(bp)
 				if errors.Is(serr, errDraining) {
 					c.abort(serr.Error())
 				} else {
@@ -257,7 +266,7 @@ func (c *conn) writer() {
 	if coalesce < 1 {
 		coalesce = 1
 	}
-	scratch := make([]byte, 0, coalesce*recMatch)
+	scratch := make([]byte, 0, headerLen+coalesce*recMatch)
 	emit := func(it outItem) bool {
 		if err := c.writeItem(bw, it, &scratch, coalesce); err != nil {
 			c.close()
@@ -298,30 +307,40 @@ func (c *conn) writer() {
 // writeItem writes one queued item. A match pulls queued neighbours into
 // the same frame (up to the coalesce bound); a control item that interrupts
 // the run is written right after the match frame, preserving queue order.
+// The match frame is assembled header-and-all in the scratch buffer and
+// written with a single Write: writeFrame's stack header escapes through
+// the io.Writer interface, which would put one allocation on every frame.
 func (c *conn) writeItem(bw *bufio.Writer, it outItem, scratch *[]byte, coalesce int) error {
 	if it.typ != FrameMatch {
 		return writeFrame(bw, it.typ, it.payload)
 	}
 	buf := (*scratch)[:0]
+	buf = append(buf, 0, 0, 0, 0, FrameMatch) // length patched below
 	buf = appendMatch(buf, it.m)
-	var tail *outItem
-	for len(buf) < coalesce*recMatch {
+	// tail is held by value: taking nx's address would make every dequeued
+	// item escape to the heap, putting an allocation back on the per-match
+	// path this coalescing exists to keep clean.
+	var tail outItem
+	hasTail := false
+	for len(buf) < headerLen+coalesce*recMatch {
 		select {
 		case nx := <-c.out:
 			if nx.typ == FrameMatch {
 				buf = appendMatch(buf, nx.m)
 				continue
 			}
-			tail = &nx
+			tail = nx
+			hasTail = true
 		default:
 		}
 		break
 	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-headerLen))
 	*scratch = buf
-	if err := writeFrame(bw, FrameMatch, buf); err != nil {
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	if tail != nil {
+	if hasTail {
 		return writeFrame(bw, tail.typ, tail.payload)
 	}
 	return nil

@@ -127,9 +127,28 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 
 // readFrame reads one frame, rejecting payloads longer than max. io.EOF is
 // returned only for a clean end-of-stream between frames; a connection cut
-// mid-frame surfaces as io.ErrUnexpectedEOF.
+// mid-frame surfaces as io.ErrUnexpectedEOF. The payload is freshly
+// allocated; steady-state readers use readFrameInto instead.
 func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
-	var hdr [headerLen]byte
+	var scratch []byte
+	return readFrameInto(r, max, &scratch)
+}
+
+// readFrameInto is readFrame with a caller-owned payload buffer: *buf is
+// grown once to the largest payload seen and reused for every subsequent
+// frame, so a connection's steady-state read path does not allocate. The
+// returned payload aliases *buf and is valid only until the next call with
+// the same buffer — callers must copy anything they retain (decodeArrivals
+// already copies into records).
+func readFrameInto(r io.Reader, max int, buf *[]byte) (typ byte, payload []byte, err error) {
+	// The header is read into the reuse buffer too: a stack array passed
+	// through the io.Reader interface escapes conservatively, which would
+	// cost one allocation per frame. n and typ are extracted before the
+	// payload read overwrites the same bytes.
+	if cap(*buf) < headerLen {
+		*buf = make([]byte, headerLen)
+	}
+	hdr := (*buf)[:headerLen]
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		return 0, nil, err // io.EOF here is a clean close
 	}
@@ -147,7 +166,10 @@ func readFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	if n == 0 {
 		return typ, nil, nil
 	}
-	payload = make([]byte, n)
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	payload = (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -194,6 +216,12 @@ func encodeArrivals(batch []pimtree.Arrival, timed bool) []byte {
 // decodeArrivals decodes an ingest payload. Stream ids other than R and S
 // are rejected — a corrupt byte must not silently alias a valid stream.
 func decodeArrivals(payload []byte, timed bool) ([]pimtree.Arrival, error) {
+	return decodeArrivalsInto(nil, payload, timed)
+}
+
+// decodeArrivalsInto is decodeArrivals appending into dst (pass a recycled
+// slice at length 0 to decode without allocating in steady state).
+func decodeArrivalsInto(dst []pimtree.Arrival, payload []byte, timed bool) ([]pimtree.Arrival, error) {
 	w := recCount
 	if timed {
 		w = recTimed
@@ -201,7 +229,12 @@ func decodeArrivals(payload []byte, timed bool) ([]pimtree.Arrival, error) {
 	if len(payload)%w != 0 {
 		return nil, fmt.Errorf("ingest payload %d bytes is not a multiple of the %d-byte record", len(payload), w)
 	}
-	out := make([]pimtree.Arrival, 0, len(payload)/w)
+	out := dst
+	if cap(out)-len(out) < len(payload)/w {
+		grown := make([]pimtree.Arrival, len(out), len(out)+len(payload)/w)
+		copy(grown, out)
+		out = grown
+	}
 	for off := 0; off < len(payload); off += w {
 		s := payload[off]
 		if s != uint8(pimtree.R) && s != uint8(pimtree.S) {

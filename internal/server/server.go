@@ -101,11 +101,22 @@ type ServeStats struct {
 
 var errDraining = errors.New("server is draining")
 
+// arrivalBatches recycles decoded ingest batches between the connection
+// readers (decode) and the producer goroutine (push): the engine copies
+// arrivals into its own queues, so the slice is dead the moment PushBatch
+// returns and steady-state ingest decodes without allocating. Pointers to
+// slices are pooled so Put itself does not allocate a box.
+var arrivalBatches = sync.Pool{New: func() any { return new([]pimtree.Arrival) }}
+
+func getArrivalBatch() *[]pimtree.Arrival  { return arrivalBatches.Get().(*[]pimtree.Arrival) }
+func putArrivalBatch(b *[]pimtree.Arrival) { arrivalBatches.Put(b) }
+
 // ingestReq is one unit of work for the engine producer goroutine: a
-// decoded arrival batch, or a drain request.
+// decoded arrival batch (pooled; the producer returns it), or a drain
+// request.
 type ingestReq struct {
 	c     *conn
-	batch []pimtree.Arrival
+	batch *[]pimtree.Arrival
 	drain bool
 }
 
@@ -328,13 +339,19 @@ func (s *Server) ingestLoop() {
 			// The connection already died on an error: applying batches it
 			// pipelined past the failure point would silently ingest data
 			// with a gap where the rejected batch was.
+			if req.batch != nil {
+				putArrivalBatch(req.batch)
+			}
 			continue
 		}
 		if req.drain {
 			s.handleDrain(req.c)
 			continue
 		}
-		if err := s.eng.PushBatch(req.batch); err != nil {
+		n := len(*req.batch)
+		err := s.eng.PushBatch(*req.batch)
+		putArrivalBatch(req.batch)
+		if err != nil {
 			if errors.Is(err, pimtree.ErrClosed) || errors.Is(err, pimtree.ErrAborted) {
 				continue // shutdown raced the push; the batch is not joined
 			}
@@ -349,7 +366,7 @@ func (s *Server) ingestLoop() {
 			go req.c.abort(err.Error())
 			continue
 		}
-		s.ingestTuples.Add(uint64(len(req.batch)))
+		s.ingestTuples.Add(uint64(n))
 	}
 }
 
@@ -630,6 +647,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LateDropped         uint64      `json:"late_dropped"`
 		MaxObservedDisorder uint64      `json:"max_observed_disorder"`
 		Imbalance           float64     `json:"imbalance"`
+		AllocObjects        uint64      `json:"alloc_objects"`
+		AllocBytes          uint64      `json:"alloc_bytes"`
+		AllocsPerTuple      float64     `json:"allocs_per_tuple"`
+		BytesPerTuple       float64     `json:"bytes_per_tuple"`
+		GCCycles            uint64      `json:"gc_cycles"`
+		GCPauseSeconds      float64     `json:"gc_pause_seconds"`
 		Shards              []shardJSON `json:"shards,omitempty"`
 		Server              struct {
 			Connections      int    `json:"connections"`
@@ -652,6 +675,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LateDropped:         st.LateDropped,
 		MaxObservedDisorder: st.MaxObservedDisorder,
 		Imbalance:           st.Imbalance,
+		AllocObjects:        st.AllocObjects,
+		AllocBytes:          st.AllocBytes,
+		AllocsPerTuple:      st.AllocsPerTuple,
+		BytesPerTuple:       st.BytesPerTuple,
+		GCCycles:            st.GCCycles,
+		GCPauseSeconds:      st.GCPauseTotal.Seconds(),
 		Shards:              shards,
 	}
 	payload.Server.Connections = sv.Connections
@@ -694,6 +723,12 @@ func (s *Server) promFamilies() []metrics.PromFamily {
 		metrics.Counter("pimtree_engine_late_dropped_total", "Tuples later than Slack dropped by the reorder buffer.", float64(st.LateDropped)),
 		metrics.Gauge("pimtree_engine_max_observed_disorder", "Largest observed event-time lateness in timestamp units.", float64(st.MaxObservedDisorder)),
 		metrics.Gauge("pimtree_engine_shard_imbalance", "Load-imbalance ratio max(shard)/mean(shard); 0 when unsharded or idle.", st.Imbalance),
+		metrics.Counter("pimtree_engine_alloc_objects_total", "Heap objects allocated process-wide since the engine session opened.", float64(st.AllocObjects)),
+		metrics.Counter("pimtree_engine_alloc_bytes_total", "Heap bytes allocated process-wide since the engine session opened.", float64(st.AllocBytes)),
+		metrics.Gauge("pimtree_engine_allocs_per_tuple", "Session-average heap objects allocated per admitted tuple.", st.AllocsPerTuple),
+		metrics.Gauge("pimtree_engine_alloc_bytes_per_tuple", "Session-average heap bytes allocated per admitted tuple.", st.BytesPerTuple),
+		metrics.Counter("pimtree_engine_gc_cycles_total", "GC cycles completed since the engine session opened.", float64(st.GCCycles)),
+		metrics.Counter("pimtree_engine_gc_pause_seconds_total", "Approximate total GC stop-the-world pause time since the engine session opened.", st.GCPauseTotal.Seconds()),
 	}
 	if loads := s.eng.ShardLoads(); len(loads) > 0 {
 		ins := metrics.PromFamily{Name: "pimtree_shard_inserts_total", Help: "Tuple inserts routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}

@@ -156,7 +156,11 @@ func (s *store) resolve(p kv.Pair) (seq uint64, ok bool) {
 type shardIndex interface {
 	Insert(p kv.Pair)
 	Remove(p kv.Pair) // eager backends only; no-op for delta-merge indexes
-	Query(lo, hi uint32, emit func(kv.Pair) bool)
+	Query(lo, hi uint32, emit func(kv.Pair) bool) (stopped bool)
+	// QueryPairs emits in-range elements as contiguous []kv.Pair runs
+	// aliasing index-owned storage (valid only during the emit call); the
+	// probe hot loop uses it to scan candidates branch-light.
+	QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) (stopped bool)
 	Maintain(live func(kv.Pair) bool)
 	Merges() (int, time.Duration)
 	Eager() bool // whether evictions must call Remove
@@ -164,11 +168,16 @@ type shardIndex interface {
 
 type pimShardIndex struct{ t *core.PIMTree }
 
-func (x *pimShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *pimShardIndex) Remove(kv.Pair)                               {}
-func (x *pimShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *pimShardIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
-func (x *pimShardIndex) Eager() bool                                  { return false }
+func (x *pimShardIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *pimShardIndex) Remove(kv.Pair)   {}
+func (x *pimShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *pimShardIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *pimShardIndex) Merges() (int, time.Duration) { return x.t.Merges() }
+func (x *pimShardIndex) Eager() bool                  { return false }
 func (x *pimShardIndex) Maintain(live func(kv.Pair) bool) {
 	if x.t.NeedsMerge() {
 		x.t.MergeInPlace(live)
@@ -177,11 +186,16 @@ func (x *pimShardIndex) Maintain(live func(kv.Pair) bool) {
 
 type imShardIndex struct{ t *core.IMTree }
 
-func (x *imShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *imShardIndex) Remove(kv.Pair)                               {}
-func (x *imShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *imShardIndex) Merges() (int, time.Duration)                 { return x.t.Merges() }
-func (x *imShardIndex) Eager() bool                                  { return false }
+func (x *imShardIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *imShardIndex) Remove(kv.Pair)   {}
+func (x *imShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *imShardIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *imShardIndex) Merges() (int, time.Duration) { return x.t.Merges() }
+func (x *imShardIndex) Eager() bool                  { return false }
 func (x *imShardIndex) Maintain(live func(kv.Pair) bool) {
 	if x.t.NeedsMerge() {
 		x.t.Merge(live)
@@ -190,21 +204,31 @@ func (x *imShardIndex) Maintain(live func(kv.Pair) bool) {
 
 type btreeShardIndex struct{ t *btree.Tree }
 
-func (x *btreeShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *btreeShardIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
-func (x *btreeShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *btreeShardIndex) Maintain(func(kv.Pair) bool)                  {}
-func (x *btreeShardIndex) Merges() (int, time.Duration)                 { return 0, 0 }
-func (x *btreeShardIndex) Eager() bool                                  { return true }
+func (x *btreeShardIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *btreeShardIndex) Remove(p kv.Pair) { x.t.Delete(p) }
+func (x *btreeShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *btreeShardIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *btreeShardIndex) Maintain(func(kv.Pair) bool)  {}
+func (x *btreeShardIndex) Merges() (int, time.Duration) { return 0, 0 }
+func (x *btreeShardIndex) Eager() bool                  { return true }
 
 type bwShardIndex struct{ t *bwtree.Tree }
 
-func (x *bwShardIndex) Insert(p kv.Pair)                             { x.t.Insert(p) }
-func (x *bwShardIndex) Remove(p kv.Pair)                             { x.t.Delete(p) }
-func (x *bwShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) { x.t.Query(lo, hi, emit) }
-func (x *bwShardIndex) Maintain(func(kv.Pair) bool)                  {}
-func (x *bwShardIndex) Merges() (int, time.Duration)                 { return 0, 0 }
-func (x *bwShardIndex) Eager() bool                                  { return true }
+func (x *bwShardIndex) Insert(p kv.Pair) { x.t.Insert(p) }
+func (x *bwShardIndex) Remove(p kv.Pair) { x.t.Delete(p) }
+func (x *bwShardIndex) Query(lo, hi uint32, emit func(kv.Pair) bool) bool {
+	return x.t.Query(lo, hi, emit)
+}
+func (x *bwShardIndex) QueryPairs(lo, hi uint32, emit func([]kv.Pair) bool) bool {
+	return x.t.QueryPairs(lo, hi, emit)
+}
+func (x *bwShardIndex) Maintain(func(kv.Pair) bool)  {}
+func (x *bwShardIndex) Merges() (int, time.Duration) { return 0, 0 }
+func (x *bwShardIndex) Eager() bool                  { return true }
 
 // newShardIndex builds the configured index for one stream of one shard.
 // The window length w sizes the delta-merge thresholds exactly as in the
@@ -234,8 +258,17 @@ type engine struct {
 	stores [2]*store
 	idxs   [2]shardIndex
 	evicts [2]func(kv.Pair) // Remove hooks for eager indexes (nil otherwise)
-	// scratch collects one probe's matched sequences; reused across ops.
-	scratch []uint64
+	// Probe state for the zero-allocation hot path: the in-flight op, its
+	// store, and the destination slice live in fields, and pemit is the
+	// single callback built once at construction — probe never materializes
+	// an escaping closure or copies its result out.
+	pemit func([]kv.Pair) bool
+	pcur  *op
+	pst   *store
+	pdst  []uint64
+	// liveFns are the per-stream Maintain liveness predicates, also built
+	// once so batch maintenance does not allocate.
+	liveFns [2]func(kv.Pair) bool
 	// resident is a monitoring gauge: tuples currently stored across both
 	// streams, refreshed by the worker after each batch and read by load
 	// snapshots without synchronization.
@@ -263,7 +296,20 @@ func newEngine(cfg Config) *engine {
 			idx := e.idxs[i]
 			e.evicts[i] = func(p kv.Pair) { idx.Remove(p) }
 		}
+		st := e.stores[i]
+		if cfg.Timed {
+			e.liveFns[i] = func(p kv.Pair) bool {
+				_, ts, ok := st.resolveTimed(p)
+				return ok && ts >= st.wm
+			}
+		} else {
+			e.liveFns[i] = func(p kv.Pair) bool {
+				seq, ok := st.resolve(p)
+				return ok && seq >= st.wm
+			}
+		}
 	}
+	e.pemit = e.emitPairs
 	return e
 }
 
@@ -292,41 +338,55 @@ func (e *engine) insert(o *op) {
 // Timed mode filters by seq < tl (tuples admitted before the probe) and
 // ts >= te (the probe's minimum live event time); admission order is
 // timestamp order, so seq < tl already implies ts <= the probe's timestamp.
-func (e *engine) probe(o *op) []uint64 {
+func (e *engine) probe(o *op, dst []uint64) []uint64 {
 	st := e.stores[o.stream]
 	if e.timed {
 		st.evictTime(o.te, e.evicts[o.stream])
 	} else {
 		st.evict(o.te, e.evicts[o.stream])
 	}
-	e.scratch = e.scratch[:0]
-	e.idxs[o.stream].Query(o.lo, o.hi, func(p kv.Pair) bool {
-		var seq uint64
-		if e.timed {
+	e.pcur, e.pst, e.pdst = o, st, dst[:0]
+	e.idxs[o.stream].QueryPairs(o.lo, o.hi, e.pemit)
+	dst = e.pdst
+	e.pcur, e.pst, e.pdst = nil, nil, nil
+	return dst
+}
+
+// emitPairs consumes one contiguous candidate run of the in-flight probe
+// (see the probe fields on engine), resolving each entry against the store
+// and appending deduplicated live sequences to the destination slice.
+func (e *engine) emitPairs(ps []kv.Pair) bool {
+	o, st := e.pcur, e.pst
+	if e.timed {
+		for _, p := range ps {
 			s, ts, ok := st.resolveTimed(p)
 			if !ok || s >= o.tl || ts < o.te {
-				return true
+				continue
 			}
-			seq = s
-		} else {
-			s, ok := st.resolve(p)
-			if !ok || s < o.te || s >= o.tl {
-				return true
-			}
-			seq = s
+			e.pdst = appendSeq(e.pdst, s)
 		}
-		for _, s := range e.scratch {
-			if s == seq {
-				return true
-			}
-		}
-		e.scratch = append(e.scratch, seq)
 		return true
-	})
-	if len(e.scratch) == 0 {
-		return nil
 	}
-	return append([]uint64(nil), e.scratch...)
+	for _, p := range ps {
+		s, ok := st.resolve(p)
+		if !ok || s < o.te || s >= o.tl {
+			continue
+		}
+		e.pdst = appendSeq(e.pdst, s)
+	}
+	return true
+}
+
+// appendSeq appends seq unless already present (the probe dedup: a stale
+// delta-merge entry whose ring slot was reused by a live tuple of the same
+// key resolves to the same sequence as the fresh entry).
+func appendSeq(dst []uint64, seq uint64) []uint64 {
+	for _, s := range dst {
+		if s == seq {
+			return dst
+		}
+	}
+	return append(dst, seq)
 }
 
 // maintain runs deferred index maintenance (delta merges) for both streams,
@@ -336,18 +396,7 @@ func (e *engine) maintain(self bool) {
 		if self && i == 1 {
 			break
 		}
-		st := e.stores[i]
-		if e.timed {
-			e.idxs[i].Maintain(func(p kv.Pair) bool {
-				_, ts, ok := st.resolveTimed(p)
-				return ok && ts >= st.wm
-			})
-			continue
-		}
-		e.idxs[i].Maintain(func(p kv.Pair) bool {
-			seq, ok := st.resolve(p)
-			return ok && seq >= st.wm
-		})
+		e.idxs[i].Maintain(e.liveFns[i])
 	}
 }
 
@@ -409,10 +458,15 @@ func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
 		idx := e.idxs[slot]
 		e.evicts[slot] = func(p kv.Pair) { idx.Remove(p) }
 	}
+	e.liveFns[slot] = func(p kv.Pair) bool {
+		seq, ok := st.resolve(p)
+		return ok && seq >= st.wm
+	}
 	if cfg.Self && slot == 0 {
 		e.stores[1] = e.stores[0]
 		e.idxs[1] = e.idxs[0]
 		e.evicts[1] = e.evicts[0]
+		e.liveFns[1] = e.liveFns[0]
 	}
 }
 

@@ -122,12 +122,23 @@ type Router struct {
 	capN  int // in-flight ring capacity
 
 	// Per-arrival completion records shared with shard workers, ring-indexed
-	// by arrival position modulo capN.
+	// by arrival position modulo capN. Each slot's bucket row is allocated
+	// once at construction (one bucket per shard) and the bucket slices are
+	// recycled across ring tenants; nbuck bounds the row to the arrival's
+	// actual fan-out, so the steady-state probe path never allocates.
 	probeStream []uint8
 	probeSeq    []uint64
 	results     [][][]uint64 // [slot][fanout bucket][match seqs]
+	nbuck       []int32      // buckets in use per slot (set at routing)
 	state       []probeState
 	routed      atomic.Int64 // arrivals fully published (workers read)
+
+	// free recycles op batch slices per shard: workers return consumed
+	// batches, the router reuses them in enqueue. Buffered beyond the shard
+	// channel capacity plus the batches in flight (pending + in-worker), so
+	// in steady state the set of circulating slices is closed — no drops on
+	// return, no allocations in enqueue.
+	free []chan []op
 
 	// Ordered propagation (same try-lock protocol as the shared runtime).
 	// propHead is the retire frontier the router consults for slot reuse;
@@ -231,8 +242,13 @@ func NewRouter(cfg Config, capacity int) *Router {
 		probeStream: make([]uint8, capacity),
 		probeSeq:    make([]uint64, capacity),
 		results:     make([][][]uint64, capacity),
+		nbuck:       make([]int32, capacity),
 		state:       make([]probeState, capacity),
 		probeRouted: make([]int, k),
+		free:        make([]chan []op, k),
+	}
+	for i := range r.results {
+		r.results[i] = make([][]uint64, k)
 	}
 	r.bpCond = sync.NewCond(&r.bpMu)
 	if cfg.Adaptive {
@@ -255,6 +271,9 @@ func NewRouter(cfg Config, capacity int) *Router {
 	for s := 0; s < k; s++ {
 		r.engines[s] = newEngine(cfg)
 		r.chans[s] = make(chan []op, 4)
+		// Channel capacity 4 + one pending in the router + one in the worker,
+		// with headroom: after warmup every consumed batch finds a free slot.
+		r.free[s] = make(chan []op, 8)
 		r.wg.Add(1)
 		go r.worker(s)
 	}
@@ -298,7 +317,6 @@ func (r *Router) admit() int {
 		r.bpMu.Unlock()
 	}
 	slot := r.n % r.capN
-	r.results[slot] = nil
 	r.state[slot].completed.Store(false)
 	return slot
 }
@@ -327,7 +345,7 @@ func (r *Router) Push(a stream.Arrival) {
 	s2 := r.clampShard(r.part.ShardOf(hi))
 	r.probeStream[slot] = a.Stream
 	r.probeSeq[slot] = r.heads[own]
-	r.results[slot] = make([][]uint64, s2-s1+1)
+	r.nbuck[slot] = int32(s2 - s1 + 1)
 	r.state[slot].pending.Store(int32(s2 - s1 + 1))
 	for s := s1; s <= s2; s++ {
 		r.probeRouted[s]++
@@ -401,7 +419,7 @@ func (r *Router) routeTimed(t ooo.Tuple) {
 	s2 := r.clampShard(r.part.ShardOf(hi))
 	r.probeStream[slot] = t.Stream
 	r.probeSeq[slot] = r.heads[own]
-	r.results[slot] = make([][]uint64, s2-s1+1)
+	r.nbuck[slot] = int32(s2 - s1 + 1)
 	r.state[slot].pending.Store(int32(s2 - s1 + 1))
 	for s := s1; s <= s2; s++ {
 		r.probeRouted[s]++
@@ -531,13 +549,21 @@ func (r *Router) LoadSnapshot() []ShardLoad {
 	return out
 }
 
-// enqueue appends an op to a shard's pending batch, flushing on size.
+// enqueue appends an op to a shard's pending batch, flushing on size. Batch
+// slices are recycled through the shard's free channel; a fresh allocation
+// only happens during warmup (or when a worker briefly held more batches
+// than the free channel's headroom).
 func (r *Router) enqueue(s int, o op) {
 	p := &r.pend[s]
 	if p.first < 0 {
 		p.first = r.n
 		if p.ops == nil {
-			p.ops = make([]op, 0, r.cfg.BatchSize)
+			select {
+			case b := <-r.free[s]:
+				p.ops = b[:0]
+			default:
+				p.ops = make([]op, 0, r.cfg.BatchSize)
+			}
 		}
 	}
 	p.ops = append(p.ops, o)
@@ -637,13 +663,23 @@ func (r *Router) worker(s int) {
 				continue
 			}
 			slot := o.idx % r.capN
-			r.results[slot][o.bucket] = e.probe(o)
+			// The bucket slice is recycled across ring tenants: probe
+			// appends into its storage and returns the (possibly regrown)
+			// slice. Safe because the propagation frontier retired the
+			// previous tenant before the router reused the slot.
+			r.results[slot][o.bucket] = e.probe(o, r.results[slot][o.bucket])
 			if r.state[slot].pending.Add(-1) == 0 {
 				r.state[slot].completed.Store(true)
 			}
 		}
 		e.maintain(r.cfg.Self)
 		e.updateResident(r.cfg.Self)
+		// Return the consumed batch slice for reuse; drop it when the free
+		// channel is full (warmup overshoot).
+		select {
+		case r.free[s] <- batch[:0]:
+		default:
+		}
 		r.propagate()
 	}
 }
@@ -666,7 +702,10 @@ func (r *Router) propagate() {
 		advanced := false
 		for head < routed && r.state[head%r.capN].completed.Load() {
 			h := head % r.capN
-			for _, bucket := range r.results[h] {
+			// Only the buckets this arrival fanned out to are live; the row
+			// and its bucket slices stay allocated for the slot's next
+			// tenant.
+			for _, bucket := range r.results[h][:r.nbuck[h]] {
 				r.matches += uint64(len(bucket))
 				if r.cfg.Sink != nil {
 					for _, mseq := range bucket {
@@ -674,7 +713,6 @@ func (r *Router) propagate() {
 					}
 				}
 			}
-			r.results[h] = nil
 			head++
 			advanced = true
 		}

@@ -193,6 +193,18 @@ type RunStats struct {
 	// non-sharded mode). Adaptive runs measure it over ops routed since the
 	// last rebalance epoch; static runs over resident window tuples.
 	Imbalance float64
+	// GC pressure since Open, sourced from runtime/metrics and diffed
+	// against the snapshot taken at Open. These are process-wide counters:
+	// in an otherwise idle process they measure the session's hot path; a
+	// process running several sessions sees their sum in each. The per-tuple
+	// ratios are the steady-state allocation rates the zero-allocation hot
+	// path drives toward zero.
+	AllocObjects   uint64        // heap objects allocated since Open
+	AllocBytes     uint64        // heap bytes allocated since Open
+	AllocsPerTuple float64       // AllocObjects / Tuples (0 when no tuples)
+	BytesPerTuple  float64       // AllocBytes / Tuples (0 when no tuples)
+	GCCycles       uint64        // GC cycles completed since Open
+	GCPauseTotal   time.Duration // approximate total GC stop-the-world pause since Open
 }
 
 // ShardLoad is one shard's live load snapshot, returned by Engine.ShardLoads
