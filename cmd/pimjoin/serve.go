@@ -38,6 +38,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		blocking = fs.Bool("blocking-merge", false, "use blocking merges in shared mode")
 		shards   = fs.Int("shards", 0, "shard count for the sharded modes (0 = GOMAXPROCS)")
 		adaptive = fs.Bool("adaptive", false, "enable adaptive shard rebalancing (sharded mode)")
+		autotune = fs.Bool("autotune", false, "run the feedback controller: shard count and rebalancing adjust live (sharded modes)")
 		span     = fs.Uint64("span", 0, "time-window duration for -mode sharded-time")
 		maxLive  = fs.Int("maxlive", 0, "live-tuple bound per window for -mode sharded-time")
 		slack    = fs.Uint64("slack", 0, "tolerated event-time disorder for -mode sharded-time (enables LateDrop)")
@@ -91,6 +92,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		BlockingMerge: *blocking,
 		Shards:        *shards,
 		Adaptive:      *adaptive,
+		AutoTune:      *autotune,
 		Span:          *span,
 		MaxLive:       *maxLive,
 		Slack:         *slack,
@@ -178,6 +180,14 @@ func statsLine(e *pimtree.Engine) string {
 		line += fmt.Sprintf(", imbalance %.2f", st.Imbalance)
 		if e.Mode() == pimtree.ModeSharded {
 			line += fmt.Sprintf(", rebalances %d (migrated %d)", st.Rebalances, st.MigratedTuples)
+		}
+		tn := e.Tuning()
+		line += fmt.Sprintf(", shards %d", tn.Shards)
+		if tn.AutoTune {
+			line += fmt.Sprintf(", decisions %d", tn.Decisions)
+			if tn.LastDecision != "" {
+				line += " (" + tn.LastDecision + ")"
+			}
 		}
 	}
 	return line

@@ -126,13 +126,20 @@ func TestStatsLineShardObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := statsLine(e)
-	for _, want := range []string{"tuples", "imbalance", "rebalances"} {
+	for _, want := range []string{"tuples", "imbalance", "rebalances", "shards 2"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("stats line %q missing %q", line, want)
 		}
 	}
 	if strings.Contains(line, "rebalances 0") {
 		t.Errorf("forced rebalances not reflected live: %q", line)
+	}
+	// A live reshape shows up on the next line.
+	if err := e.Reconfigure(pimtree.Delta{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if l := statsLine(e); !strings.Contains(l, "shards 3") {
+		t.Errorf("stats line %q missing post-reshape shard count", l)
 	}
 	if _, err := e.Close(context.Background()); err != nil {
 		t.Fatal(err)

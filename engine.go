@@ -15,6 +15,7 @@ import (
 	"pimtree/internal/metrics"
 	"pimtree/internal/shard"
 	"pimtree/internal/stream"
+	"pimtree/internal/tune"
 )
 
 // Mode selects the execution runtime behind an Engine.
@@ -60,6 +61,21 @@ func (m Mode) String() string {
 	}
 }
 
+// modeFor maps the tune package's runtime identifiers back onto the public
+// modes (internal/tune cannot import this package).
+func modeFor(r tune.Runtime) Mode {
+	switch r {
+	case tune.Serial:
+		return ModeSerial
+	case tune.Shared:
+		return ModeShared
+	case tune.ShardedTime:
+		return ModeShardedTime
+	default:
+		return ModeSharded
+	}
+}
+
 // Named error conditions of the Engine API, matchable with errors.Is.
 var (
 	// ErrClosed is returned by operations on an engine that has been closed.
@@ -73,6 +89,10 @@ var (
 	// ErrUnordered is wrapped by errors rejecting timestamp-regressing input
 	// pushed to a time-based runtime in strict (LateNone) mode.
 	ErrUnordered = errors.New("arrivals are not timestamp-ordered")
+	// ErrNotTunable is wrapped by Reconfigure errors on engines whose
+	// execution mode has no live-tunable parameters (the serial and shared
+	// runtimes).
+	ErrNotTunable = errors.New("execution mode has no live-tunable parameters")
 )
 
 // errNotSorted is the uniform strict-mode disorder rejection shared by every
@@ -173,12 +193,23 @@ type Config struct {
 	// Shards, BatchSize, and Partitioner shape the sharded modes (defaults:
 	// GOMAXPROCS, 64, equal-width ranges). Adaptive enables online shard
 	// rebalancing tuned by Rebalance (ModeSharded only; setting it in any
-	// other mode fails validation).
+	// other mode fails validation). In the sharded modes Shards and
+	// BatchSize only set the starting values — both are live-tunable
+	// afterwards through Engine.Reconfigure.
 	Shards      int
 	BatchSize   int
 	Partitioner Partitioner
 	Adaptive    bool
 	Rebalance   RebalancePolicy
+
+	// AutoTune starts the feedback controller: a background goroutine that
+	// samples the live load statistics and applies bounded Reconfigure
+	// deltas (grow/shrink shards, enable rebalancing) when sustained
+	// pressure or idleness clears the controller's hysteresis. Sharded
+	// modes only; with ModeAuto it selects ModeSharded like the other
+	// sharded knobs. Tune adjusts the controller (ignored otherwise).
+	AutoTune bool
+	Tune     TunePolicy
 
 	// Slack, LatePolicy, and OnLate configure out-of-order admission for
 	// ModeShardedTime (see LatePolicy). With LateNone, pushes must be
@@ -203,6 +234,8 @@ type Config struct {
 	// tuples of the parallel modes; a Push past it blocks until the ordered
 	// propagation frontier advances — the session's backpressure. Zero
 	// selects a default (8Ki for ModeShared, 16Ki for the sharded modes).
+	// In the sharded modes it is live-tunable through Engine.Reconfigure;
+	// in ModeShared it is fixed at Open.
 	QueueCapacity int
 }
 
@@ -211,22 +244,16 @@ type Config struct {
 // constructor in this package.
 func (c Config) validate() (Config, error) {
 	if c.Mode == ModeAuto {
-		shardedKnobs := c.Shards > 0 || c.Partitioner != nil || c.Adaptive
-		sharedKnobs := c.Threads > 0 || c.TaskSize > 0 || c.BlockingMerge || c.RecordLatency
-		switch {
-		case c.Span > 0:
-			c.Mode = ModeShardedTime
-		case c.Backend == BChain || c.Backend == IBChain:
-			c.Mode = ModeSerial
-		case shardedKnobs:
-			c.Mode = ModeSharded
-		case sharedKnobs:
-			c.Mode = ModeShared
-		case runtime.GOMAXPROCS(0) > 1:
-			c.Mode = ModeSharded
-		default:
-			c.Mode = ModeSerial
-		}
+		// The decision table lives in internal/tune so the control plane
+		// (which re-validates merged configs on live reconfiguration) shares
+		// one source of truth with Open.
+		c.Mode = modeFor(tune.ResolveRuntime(tune.Workload{
+			TimeWindow:     c.Span > 0,
+			ChainedBackend: c.Backend == BChain || c.Backend == IBChain,
+			ShardedKnobs:   c.Shards > 0 || c.Partitioner != nil || c.Adaptive || c.AutoTune,
+			SharedKnobs:    c.Threads > 0 || c.TaskSize > 0 || c.BlockingMerge || c.RecordLatency,
+			Cores:          runtime.GOMAXPROCS(0),
+		}))
 	}
 	switch c.Mode {
 	case ModeSerial, ModeShared, ModeSharded:
@@ -273,6 +300,9 @@ func (c Config) validate() (Config, error) {
 	if c.Adaptive && c.Mode != ModeSharded {
 		return c, fmt.Errorf("pimtree: adaptive rebalancing requires %s mode (got %s)", ModeSharded, c.Mode)
 	}
+	if c.AutoTune && c.Mode != ModeSharded && c.Mode != ModeShardedTime {
+		return c, fmt.Errorf("pimtree: auto-tuning requires %s or %s mode (got %s)", ModeSharded, ModeShardedTime, c.Mode)
+	}
 	if c.DiscardMatches && c.OnMatch != nil {
 		return c, fmt.Errorf("pimtree: DiscardMatches with OnMatch set (pick a side)")
 	}
@@ -295,10 +325,25 @@ const (
 // the final statistics.
 //
 // Push, PushTimed, PushBatch, Drain, and Close must be called from one
-// goroutine (the producer). Stats and Matches are safe from any goroutine.
+// goroutine (the producer). Stats, Matches, Tuning, and Reconfigure are safe
+// from any goroutine: the control plane serializes against the producer on
+// an internal mutex, so an admin endpoint or the auto-tuner can reshape the
+// engine while the producer keeps pushing.
 type Engine struct {
 	cfg  Config
 	mode Mode
+
+	// prodMu serializes the producer-side operations (pushes, Drain, Close
+	// teardown) with live reconfiguration, which may arrive from any
+	// goroutine. Producers are documented single-goroutine, so the mutex is
+	// uncontended — and allocation-free — until the control plane acts.
+	prodMu sync.Mutex
+	// tunMu guards cfg against concurrent Tuning readers while Reconfigure
+	// (under prodMu) swaps it.
+	tunMu     sync.Mutex
+	reconfigs atomic.Int64 // applied Reconfigure deltas
+	decisions atomic.Int64 // controller decisions applied by the auto-tuner
+	tuner     *tuner       // nil unless Config.AutoTune
 
 	serial *join.Streaming
 	shared *join.Shared
@@ -413,6 +458,9 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.start = time.Now()
 	e.gcBase = metrics.ReadGC()
+	if cc.AutoTune {
+		e.tuner = startTuner(e, cc.Tune)
+	}
 	return e, nil
 }
 
@@ -457,6 +505,20 @@ func (e *Engine) pushable() error {
 	}
 }
 
+// lockProducer acquires the producer mutex and re-checks liveness under it:
+// the engine may have started closing or aborted while the caller was parked
+// behind a reconfiguration or an abandoned drain. Callers fast-fail on
+// pushable before locking, so an aborted engine rejects pushes promptly
+// instead of queueing them on the mutex.
+func (e *Engine) lockProducer() error {
+	e.prodMu.Lock()
+	if err := e.pushable(); err != nil {
+		e.prodMu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // Push feeds one count-window tuple. In the parallel modes it may block on
 // backpressure (QueueCapacity); in ModeSerial its matches are dispatched
 // before it returns.
@@ -467,7 +529,11 @@ func (e *Engine) Push(s StreamID, key uint32) error {
 	if e.mode == ModeShardedTime {
 		return fmt.Errorf("pimtree: %s mode requires PushTimed (tuples carry event timestamps)", e.mode)
 	}
+	if err := e.lockProducer(); err != nil {
+		return err
+	}
 	e.pushCount(stream.Arrival{Stream: uint8(s), Key: key})
+	e.prodMu.Unlock()
 	return nil
 }
 
@@ -509,7 +575,11 @@ func (e *Engine) PushTimed(s StreamID, key uint32, ts uint64) error {
 		}
 		e.lastTS = ts
 	}
+	if err := e.lockProducer(); err != nil {
+		return err
+	}
 	e.router.PushTimed(uint8(s), key, ts)
+	e.prodMu.Unlock()
 	return nil
 }
 
@@ -521,6 +591,10 @@ func (e *Engine) PushBatch(batch []Arrival) error {
 	if err := e.pushable(); err != nil {
 		return err
 	}
+	if err := e.lockProducer(); err != nil {
+		return err
+	}
+	defer e.prodMu.Unlock()
 	switch e.mode {
 	case ModeShardedTime:
 		if e.cfg.LatePolicy == LateNone {
@@ -651,7 +725,7 @@ func (e *Engine) ShardLoads() []ShardLoad {
 	snap := e.router.LoadSnapshot()
 	out := make([]ShardLoad, len(snap))
 	for i, s := range snap {
-		out[i] = ShardLoad{Inserts: s.Inserts, Probes: s.Probes, QueueDepth: s.QueueDepth, Resident: s.Resident}
+		out[i] = ShardLoad{Inserts: s.Inserts, Probes: s.Probes, QueueDepth: s.QueueDepth, QueueHW: s.QueueHW, Resident: s.Resident}
 	}
 	return out
 }
@@ -703,17 +777,25 @@ func (e *Engine) Drain(ctx context.Context) error {
 	case ModeShared:
 		return e.shared.Drain(ctx)
 	default:
+		if err := e.lockProducer(); err != nil {
+			return err
+		}
 		if ctx.Done() == nil {
 			// Un-cancelable context (e.g. context.Background()): drain
 			// synchronously instead of spawning the watchdog goroutine, so a
 			// push-drain steady state stays allocation-free.
 			e.router.Drain()
+			e.prodMu.Unlock()
 			return nil
 		}
 		done := make(chan struct{})
 		go func() {
+			// The drain goroutine owns the producer mutex until the router is
+			// actually quiescent — an abandoned drain is still a producer-side
+			// operation in flight, and Reconfigure must keep waiting for it.
 			defer close(done)
 			e.router.Drain()
+			e.prodMu.Unlock()
 		}()
 		select {
 		case <-done:
@@ -751,6 +833,12 @@ func (e *Engine) Close(ctx context.Context) (RunStats, error) {
 			break
 		}
 	}
+	if e.tuner != nil {
+		// Stop the auto-tuner first: a reconfiguration in flight completes
+		// (the workers are still up), and no new one starts against the
+		// teardown.
+		e.tuner.stop()
+	}
 	done := make(chan struct{})
 	var st join.Stats
 	go func() {
@@ -760,6 +848,10 @@ func (e *Engine) Close(ctx context.Context) (RunStats, error) {
 			// single-producer, so wait for it before tearing down.
 			<-e.bg
 		}
+		// Teardown is a producer-side operation: taking the mutex waits out
+		// any reconfiguration (or late push) already holding it.
+		e.prodMu.Lock()
+		defer e.prodMu.Unlock()
 		switch e.mode {
 		case ModeSerial:
 			m, t := e.serial.Merges()

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-engine",
 		"abl-serve",
 		"abl-alloc",
+		"abl-tune",
 		"model",
 	}
 	for _, id := range want {

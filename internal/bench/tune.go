@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"log"
+	"time"
+
+	"pimtree"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-tune",
+		Title: "ablation: static sharding vs the AutoTune feedback controller under drifting skew (Mtps, resident imbalance)",
+		Run:   runAblTune,
+	})
+}
+
+// runAblTune compares a statically-configured sharded engine against the
+// same engine with the AutoTune feedback controller on workloads a fixed
+// configuration cannot track: a hot key band that jumps location and a hot
+// band sweeping the domain. The static engine keeps its opening equal-width
+// boundaries, so whichever shard owns the hot band serializes the run and
+// ends it holding most of the window; the controller observes the resulting
+// load imbalance and switches on adaptive rebalancing, which re-splits the
+// band every epoch. The imbalance columns report the final resident-tuple
+// skew max(shard)/mean(shard) — the same measurement for both engines, so
+// the cells are apples-to-apples and benchgate gates them lower-is-better.
+func runAblTune(cfg Config, out io.Writer) {
+	w := 1 << 13
+	if cfg.Scale == Quick {
+		w = 1 << 10
+	} else if cfg.Scale == Paper {
+		w = 1 << 16
+	}
+	k := cfg.threads()
+	n := 64 * w
+	period := 16 * w
+	seed := cfg.seed()
+	header(out, "abl-tune", "static vs AutoTune controller at w="+wLabel(w))
+	row(out, "workload", "static", "autotune", "static imbalance", "auto imbalance", "decisions")
+
+	// Same hot-band geometry as abl-adaptive: keys inside the band are
+	// uniform, so the band predicate holding the match rate at 2 is the
+	// uniform closed form scaled by the band width.
+	const hot = 1.0 / 16
+	diff := uint32(hot * float64(pimtree.DiffForMatchRate(w, 2)))
+	workloads := []struct {
+		name string
+		gen  func(s int64) pimtree.KeySource
+	}{
+		// Both streams share one generator seed, so the hot bands stay
+		// co-located and the join produces matches.
+		{"step-skew", func(s int64) pimtree.KeySource { return pimtree.StepSkewSource(s, hot, period) }},
+		{"drift-hotspot", func(s int64) pimtree.KeySource { return pimtree.DriftingHotspotSource(s, hot, 4*n) }},
+	}
+	for _, wl := range workloads {
+		arr := pimtree.Interleave(seed, wl.gen(seed+1), wl.gen(seed+1), 0.5, n)
+		base := pimtree.Config{
+			Mode:    pimtree.ModeSharded,
+			WindowR: w, WindowS: w, Diff: diff,
+			Shards:         k,
+			DiscardMatches: true,
+		}
+		staticMtps, staticImb, _ := driveTuned(base, arr)
+
+		acfg := base
+		acfg.AutoTune = true
+		// The controller defaults are sized for serving-horizon sessions; a
+		// benchmark run lasts seconds, so sample fast and react after two
+		// breaching samples.
+		acfg.Tune = pimtree.TunePolicy{Interval: 5 * time.Millisecond, Streak: 2, Cooldown: 4}
+		autoMtps, autoImb, decisions := driveTuned(acfg, arr)
+
+		row(out, wl.name, staticMtps, autoMtps, staticImb, autoImb, decisions)
+	}
+}
+
+// driveTuned runs one engine session over the arrivals and returns its
+// throughput, the final resident-tuple imbalance across shards (measured
+// after a drain, before teardown), and the controller decision count.
+func driveTuned(cfg pimtree.Config, arr []pimtree.Arrival) (mtps, imbalance float64, decisions int) {
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const chunk = 4096
+	for lo := 0; lo < len(arr); lo += chunk {
+		hi := min(lo+chunk, len(arr))
+		if err := e.PushBatch(arr[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	imbalance = residentImbalance(e.ShardLoads())
+	decisions = e.Tuning().Decisions
+	st, err := e.Close(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Mtps, imbalance, decisions
+}
+
+// residentImbalance is max(shard)/mean(shard) over resident window tuples —
+// the skew a static partitioning accumulates under a moving hot band.
+func residentImbalance(loads []pimtree.ShardLoad) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, l := range loads {
+		total += l.Resident
+		if l.Resident > max {
+			max = l.Resident
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
+}

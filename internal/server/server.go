@@ -228,6 +228,7 @@ func New(e *pimtree.Engine, opts Options) (*Server, error) {
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/stats", s.handleStats)
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/tuning", s.handleTuning)
 		s.admin = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := s.admin.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -623,10 +624,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // shardJSON mirrors pimtree.ShardLoad with stable JSON names.
 type shardJSON struct {
-	Inserts    uint64 `json:"inserts"`
-	Probes     uint64 `json:"probes"`
-	QueueDepth int    `json:"queue_depth"`
-	Resident   int    `json:"resident"`
+	Inserts      uint64 `json:"inserts"`
+	Probes       uint64 `json:"probes"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueDepthHW uint64 `json:"queue_depth_hw"`
+	Resident     int    `json:"resident"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -634,7 +636,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	sv := s.Stats()
 	var shards []shardJSON
 	for _, l := range s.eng.ShardLoads() {
-		shards = append(shards, shardJSON{Inserts: l.Inserts, Probes: l.Probes, QueueDepth: l.QueueDepth, Resident: l.Resident})
+		shards = append(shards, shardJSON{Inserts: l.Inserts, Probes: l.Probes, QueueDepth: l.QueueDepth, QueueDepthHW: l.QueueHW, Resident: l.Resident})
 	}
 	payload := struct {
 		Mode                string      `json:"mode"`
@@ -697,6 +699,102 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(payload)
 }
 
+// tuningJSON mirrors pimtree.Tuning with stable JSON names.
+type tuningJSON struct {
+	Mode          string `json:"mode"`
+	Shards        int    `json:"shards"`
+	BatchSize     int    `json:"batch_size"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Adaptive      bool   `json:"adaptive"`
+	Rebalance     struct {
+		MaxRatio   float64 `json:"max_ratio"`
+		MinGap     int     `json:"min_gap"`
+		SampleSize int     `json:"sample_size"`
+		ForceEvery int     `json:"force_every"`
+	} `json:"rebalance"`
+	AutoTune     bool   `json:"autotune"`
+	Reconfigures int    `json:"reconfigures"`
+	Reshapes     int    `json:"reshapes"`
+	Decisions    int    `json:"decisions"`
+	LastDecision string `json:"last_decision"`
+}
+
+// deltaJSON is the POST /tuning request body: the JSON shape of
+// pimtree.Delta. Absent (zero) fields keep the current value.
+type deltaJSON struct {
+	Shards        int `json:"shards"`
+	BatchSize     int `json:"batch_size"`
+	QueueCapacity int `json:"queue_capacity"`
+	Rebalance     *struct {
+		MaxRatio   float64 `json:"max_ratio"`
+		MinGap     int     `json:"min_gap"`
+		SampleSize int     `json:"sample_size"`
+		ForceEvery int     `json:"force_every"`
+	} `json:"rebalance"`
+}
+
+// handleTuning serves the control plane: GET returns the engine's live
+// Tuning snapshot; POST applies a manual Delta through Engine.Reconfigure
+// and returns the post-apply snapshot, so the caller sees what the delta
+// actually resolved to (key skew can hold the shard count below the
+// request).
+func (s *Server) handleTuning(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		// Fall through to the snapshot below.
+	case http.MethodPost:
+		var body deltaJSON
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			http.Error(w, fmt.Sprintf("bad delta: %v", err), http.StatusBadRequest)
+			return
+		}
+		d := pimtree.Delta{Shards: body.Shards, BatchSize: body.BatchSize, QueueCapacity: body.QueueCapacity}
+		if body.Rebalance != nil {
+			d.Rebalance = &pimtree.RebalancePolicy{
+				MaxRatio:   body.Rebalance.MaxRatio,
+				MinGap:     body.Rebalance.MinGap,
+				SampleSize: body.Rebalance.SampleSize,
+				ForceEvery: body.Rebalance.ForceEvery,
+			}
+		}
+		if err := s.eng.Reconfigure(d); err != nil {
+			code := http.StatusUnprocessableEntity
+			if errors.Is(err, pimtree.ErrClosed) || errors.Is(err, pimtree.ErrAborted) {
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	t := s.eng.Tuning()
+	payload := tuningJSON{
+		Mode:          t.Mode.String(),
+		Shards:        t.Shards,
+		BatchSize:     t.BatchSize,
+		QueueCapacity: t.QueueCapacity,
+		Adaptive:      t.Adaptive,
+		AutoTune:      t.AutoTune,
+		Reconfigures:  t.Reconfigures,
+		Reshapes:      t.Reshapes,
+		Decisions:     t.Decisions,
+		LastDecision:  t.LastDecision,
+	}
+	payload.Rebalance.MaxRatio = t.Rebalance.MaxRatio
+	payload.Rebalance.MinGap = t.Rebalance.MinGap
+	payload.Rebalance.SampleSize = t.Rebalance.SampleSize
+	payload.Rebalance.ForceEvery = t.Rebalance.ForceEvery
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	metrics.WriteProm(w, s.promFamilies())
@@ -730,19 +828,32 @@ func (s *Server) promFamilies() []metrics.PromFamily {
 		metrics.Counter("pimtree_engine_gc_cycles_total", "GC cycles completed since the engine session opened.", float64(st.GCCycles)),
 		metrics.Counter("pimtree_engine_gc_pause_seconds_total", "Approximate total GC stop-the-world pause time since the engine session opened.", st.GCPauseTotal.Seconds()),
 	}
+	tn := s.eng.Tuning()
+	fams = append(fams,
+		metrics.Counter("pimtree_engine_reconfigures_total", "Applied Reconfigure deltas (manual and controller-driven).", float64(tn.Reconfigures)),
+		metrics.Counter("pimtree_shard_reshapes_total", "Shard-layer reshape epochs completed.", float64(tn.Reshapes)),
+		metrics.Counter("pimtree_tune_decisions_total", "AutoTune controller decisions applied.", float64(tn.Decisions)),
+		metrics.Gauge("pimtree_tune_shards", "Live shard count (0 outside the sharded modes).", float64(tn.Shards)),
+		metrics.Gauge("pimtree_tune_batch_size", "Currently applied routed-ops-per-batch bound.", float64(tn.BatchSize)),
+		metrics.Gauge("pimtree_tune_queue_capacity", "Currently applied in-flight ring bound.", float64(tn.QueueCapacity)),
+		metrics.Gauge("pimtree_tune_adaptive", "1 while adaptive shard rebalancing is live.", b(tn.Adaptive)),
+		metrics.Gauge("pimtree_tune_autotune", "1 while the AutoTune feedback controller is running.", b(tn.AutoTune)),
+	)
 	if loads := s.eng.ShardLoads(); len(loads) > 0 {
 		ins := metrics.PromFamily{Name: "pimtree_shard_inserts_total", Help: "Tuple inserts routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}
 		prb := metrics.PromFamily{Name: "pimtree_shard_probes_total", Help: "Probe fan-ins routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}
 		qd := metrics.PromFamily{Name: "pimtree_shard_queue_depth", Help: "Op batches pending in the shard's queue.", Type: "gauge"}
+		qhw := metrics.PromFamily{Name: "pimtree_shard_queue_depth_high_water", Help: "Deepest queue depth observed on the shard since it was (re)created; reshapes start fresh marks.", Type: "gauge"}
 		res := metrics.PromFamily{Name: "pimtree_shard_resident_tuples", Help: "Tuples currently resident in the shard's windows.", Type: "gauge"}
 		for i, l := range loads {
 			lbl := [][2]string{{"shard", strconv.Itoa(i)}}
 			ins.Samples = append(ins.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Inserts)})
 			prb.Samples = append(prb.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Probes)})
 			qd.Samples = append(qd.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.QueueDepth)})
+			qhw.Samples = append(qhw.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.QueueHW)})
 			res.Samples = append(res.Samples, metrics.PromSample{Labels: lbl, Value: float64(l.Resident)})
 		}
-		fams = append(fams, ins, prb, qd, res)
+		fams = append(fams, ins, prb, qd, qhw, res)
 	}
 	fams = append(fams,
 		metrics.Gauge("pimtree_server_connections", "Open protocol connections.", float64(sv.Connections)),

@@ -728,3 +728,131 @@ func TestAdminEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestTuningEndpoint drives the control plane over HTTP: the GET snapshot
+// reflects the live configuration, a POST delta reshapes the running engine
+// without disturbing the match multiset, and bad deltas surface the
+// engine's own errors with useful status codes.
+func TestTuningEndpoint(t *testing.T) {
+	arr := countArrivals(6000, 23)
+	want, _ := runDirect(t, countCfg(pimtree.ModeSharded), arr)
+
+	s := startServer(t, countCfg(pimtree.ModeSharded), Options{AdminAddr: "127.0.0.1:0", Slow: Block})
+	base := "http://" + s.AdminAddr().String() + "/tuning"
+	c, err := Dial(s.Addr().String(), DialOptions{Subscribe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	getJSON := func(resp *http.Response, err error) tuningJSON {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/tuning: %d %s", resp.StatusCode, body)
+		}
+		var tn tuningJSON
+		if err := json.Unmarshal(body, &tn); err != nil {
+			t.Fatalf("/tuning decode: %v (%s)", err, body)
+		}
+		return tn
+	}
+
+	tn := getJSON(http.Get(base))
+	if tn.Mode != "sharded" || tn.Shards != 3 || tn.BatchSize <= 0 || tn.QueueCapacity <= 0 {
+		t.Fatalf("GET snapshot: %+v", tn)
+	}
+	if tn.Reconfigures != 0 || tn.Reshapes != 0 || tn.Adaptive || tn.AutoTune {
+		t.Fatalf("GET snapshot not pristine: %+v", tn)
+	}
+
+	// First half under the opening configuration.
+	if err := c.PushBatch(arr[:3000]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DrainWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual delta mid-stream: grow the shard set, tighten batching, and
+	// switch on adaptive rebalancing in one epoch.
+	tn = getJSON(http.Post(base, "application/json",
+		strings.NewReader(`{"shards":5,"batch_size":8,"rebalance":{"force_every":1000}}`)))
+	if tn.Shards != 5 || tn.BatchSize != 8 || !tn.Adaptive || tn.Rebalance.ForceEvery != 1000 {
+		t.Fatalf("POST snapshot: %+v", tn)
+	}
+	if tn.Reconfigures != 1 || tn.Reshapes != 1 {
+		t.Fatalf("POST counters: %+v", tn)
+	}
+
+	// Second half under the new configuration; the union must be multiset-
+	// identical to the untouched direct run.
+	if err := c.PushBatch(arr[3000:]); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.DrainWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, ms...)
+	if !sameMultiset(got, want) {
+		t.Fatalf("reshaped multiset differs from direct run: got %d matches, want %d", len(got), len(want))
+	}
+
+	// The reshape is visible on /metrics alongside the fresh high-water
+	// marks.
+	resp, err := http.Get("http://" + s.AdminAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pimtree_engine_reconfigures_total 1",
+		"pimtree_shard_reshapes_total 1",
+		"pimtree_tune_shards 5",
+		"pimtree_tune_batch_size 8",
+		"pimtree_tune_adaptive 1",
+		"pimtree_tune_autotune 0",
+		"pimtree_tune_decisions_total 0",
+		`pimtree_shard_queue_depth_high_water{shard="4"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Error paths: invalid deltas carry the engine's own message, malformed
+	// bodies fail early, and only GET/POST are served.
+	resp, err = http.Post(base, "application/json", strings.NewReader(`{"shards":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(string(body), "negative Reconfigure delta") {
+		t.Fatalf("negative delta: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(base, "application/json", strings.NewReader(`{"shard_count":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+}

@@ -420,18 +420,31 @@ func (e *engine) updateResident(self bool) {
 	e.resident.Store(n)
 }
 
-// migrant is one live tuple in flight between shards during a rebalance.
+// migrant is one live tuple in flight between shards during a rebalance or
+// reshape epoch. ts is only meaningful in timed mode.
 type migrant struct {
 	key uint32
 	seq uint64
-	src int // source shard (for migration accounting)
+	ts  uint64 // event timestamp (timed mode only)
+	src int    // source shard (for migration accounting)
 }
 
-// extractLive appends stream slot's tuples with seq >= wm to dst in sequence
-// order, tagging each with the source shard id. Must only be called while the
-// engine's worker is quiescent (drain barrier).
+// extractLive appends stream slot's live tuples to dst in sequence order,
+// tagging each with the source shard id. Liveness is seq >= wm for count
+// windows and event time >= wm for timed ones (wm is then the timestamp
+// watermark). Must only be called while the engine's worker is quiescent
+// (drain barrier).
 func (e *engine) extractLive(slot int, wm uint64, src int, dst []migrant) []migrant {
 	st := e.stores[slot]
+	if e.timed {
+		for i := st.tail; i < st.head; i++ {
+			j := i & st.mask
+			if ts := st.times[j]; ts >= wm {
+				dst = append(dst, migrant{key: st.keys[j], seq: st.seqs[j], ts: ts, src: src})
+			}
+		}
+		return dst
+	}
 	for i := st.tail; i < st.head; i++ {
 		if seq := st.seqs[i&st.mask]; seq >= wm {
 			dst = append(dst, migrant{key: st.keys[i&st.mask], seq: seq, src: src})
@@ -449,7 +462,7 @@ func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
 	m, t := e.idxs[slot].Merges()
 	e.baseMerges += m
 	e.baseMergeTime += t
-	st := newStore(w, false) // rebalancing (and thus resetSlot) is count-mode only
+	st := newStore(w, cfg.Timed)
 	st.wm = wm
 	e.stores[slot] = st
 	e.idxs[slot] = newShardIndex(cfg, w)
@@ -458,9 +471,16 @@ func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
 		idx := e.idxs[slot]
 		e.evicts[slot] = func(p kv.Pair) { idx.Remove(p) }
 	}
-	e.liveFns[slot] = func(p kv.Pair) bool {
-		seq, ok := st.resolve(p)
-		return ok && seq >= st.wm
+	if cfg.Timed {
+		e.liveFns[slot] = func(p kv.Pair) bool {
+			_, ts, ok := st.resolveTimed(p)
+			return ok && ts >= st.wm
+		}
+	} else {
+		e.liveFns[slot] = func(p kv.Pair) bool {
+			seq, ok := st.resolve(p)
+			return ok && seq >= st.wm
+		}
 	}
 	if cfg.Self && slot == 0 {
 		e.stores[1] = e.stores[0]
@@ -471,8 +491,15 @@ func (e *engine) resetSlot(slot int, cfg Config, w int, wm uint64) {
 }
 
 // adopt stores and indexes one migrated tuple. Migrants must be adopted in
-// sequence order per slot (the store ring assumes monotone seqs).
+// sequence order per slot (the store ring assumes monotone seqs; in timed
+// mode admission order is timestamp order, so sequence order is also the
+// timestamp order the timed ring assumes).
 func (e *engine) adopt(slot int, m migrant) {
-	ref := e.stores[slot].append(m.key, m.seq)
+	var ref uint32
+	if e.timed {
+		ref = e.stores[slot].appendTimed(m.key, m.seq, m.ts)
+	} else {
+		ref = e.stores[slot].append(m.key, m.seq)
+	}
 	e.idxs[slot].Insert(kv.Pair{Key: m.key, Ref: ref})
 }

@@ -134,51 +134,65 @@ func samePartition(old Partitioner, next QuantilePartitioner) bool {
 	return true
 }
 
-// migrate redistributes every live window tuple across the engines according
-// to the new partitioner and returns how many tuples changed shards. wms
-// holds the per-slot global eviction watermarks (head - window, clamped at
-// zero); tuples below the watermark are expired and dropped instead of
-// migrated.
+// migrate redistributes every live window tuple from the src engines across
+// the dst engines according to the new partitioner and returns how many
+// tuples changed shards. wms holds the per-slot global eviction watermarks —
+// head - window clamped at zero for count windows, the timestamp watermark
+// for timed ones; tuples below the watermark are expired and dropped instead
+// of migrated.
 //
-// The caller must hold every worker quiescent at the drain barrier: migration
-// reads and rebuilds engine stores and indexes directly on the router
-// goroutine, and the barrier's WaitGroup edges give it the happens-before
-// ordering with both the workers' prior writes and their next batch receive.
-func migrate(engines []*engine, cfg Config, newPart Partitioner, wms [2]uint64) (moved int) {
+// When src and dst are the same engine set (a rebalance epoch), each slot is
+// reset in place between extraction and adoption. When dst is a fresh set (a
+// reshape epoch changing the shard count), the fresh stores only have their
+// starting watermark installed. Either way the caller must hold every worker
+// quiescent at the drain barrier: migration reads and rebuilds engine stores
+// and indexes directly on the router goroutine, and the barrier's WaitGroup
+// edges give it the happens-before ordering with both the workers' prior
+// writes and their next batch receive.
+func migrate(src, dst []*engine, cfg Config, newPart Partitioner, wms [2]uint64) (moved int) {
 	slots := 2
 	if cfg.Self {
 		slots = 1
 	}
-	k := len(engines)
+	inPlace := len(src) == len(dst) && len(src) > 0 && src[0] == dst[0]
+	k := len(dst)
 	for slot := 0; slot < slots; slot++ {
 		w := cfg.WR
 		if slot == 1 {
 			w = cfg.WS
 		}
 		var live []migrant
-		for s, e := range engines {
+		for s, e := range src {
 			live = e.extractLive(slot, wms[slot], s, live)
 		}
 		// Each shard's extract is seq-ordered; the concatenation is not.
 		// The ring stores require monotone seqs, so order globally.
 		sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
-		for _, e := range engines {
-			e.resetSlot(slot, cfg, w, wms[slot])
+		if inPlace {
+			for _, e := range dst {
+				e.resetSlot(slot, cfg, w, wms[slot])
+			}
+		} else {
+			for _, e := range dst {
+				if wms[slot] > e.stores[slot].wm {
+					e.stores[slot].wm = wms[slot]
+				}
+			}
 		}
 		for _, m := range live {
-			dst := newPart.ShardOf(m.key)
-			if dst < 0 {
-				dst = 0
-			} else if dst >= k {
-				dst = k - 1
+			d := newPart.ShardOf(m.key)
+			if d < 0 {
+				d = 0
+			} else if d >= k {
+				d = k - 1
 			}
-			if dst != m.src {
+			if d != m.src {
 				moved++
 			}
-			engines[dst].adopt(slot, m)
+			dst[d].adopt(slot, m)
 		}
 	}
-	for _, e := range engines {
+	for _, e := range dst {
 		e.updateResident(cfg.Self)
 	}
 	return moved

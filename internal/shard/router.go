@@ -26,6 +26,7 @@ import (
 
 	"pimtree/internal/core"
 	"pimtree/internal/join"
+	"pimtree/internal/metrics"
 	"pimtree/internal/ooo"
 	"pimtree/internal/stream"
 )
@@ -98,6 +99,15 @@ type pendingBatch struct {
 // defaultRouterCapacity sizes the in-flight ring when the caller does not.
 const defaultRouterCapacity = 1 << 14
 
+// Per-shard channel capacities, shared by construction and reshape: the op
+// channel holds 4 batches (plus one pending in the router and one in the
+// worker), and the free list holds that set with headroom so steady-state
+// batch recycling is a closed loop.
+const (
+	shardChanCap = 4
+	freeChanCap  = 8
+)
+
 // Router is the front end of the sharded runtime. Push routes arrivals;
 // Drain quiesces the shards mid-session; Close drains them and returns the
 // run's statistics. Push, Drain, and Close must be called from one
@@ -168,8 +178,10 @@ type Router struct {
 	// only) — the observable for fan-out tests and skew diagnostics.
 	probeRouted []int
 
-	// Adaptive rebalancing state. stats is always allocated (it also backs
-	// LoadSnapshot); sample and reb only exist when cfg.Adaptive is set.
+	// Adaptive rebalancing state. stats only exists while cfg.Adaptive is
+	// set; sample is always allocated (reshape epochs seed quantile
+	// boundaries from it even when the adaptive layer is off); reb only runs
+	// while the adaptive monitor is wanted.
 	stats   *loadStats
 	sample  *keyRing
 	reb     *rebalancer
@@ -178,6 +190,24 @@ type Router struct {
 	lastReb int          // arrival index of the last rebalance epoch
 	epochs  atomic.Int64 // completed rebalance epochs (read live by Stats scrapers)
 	moved   atomic.Int64 // tuples that changed shards across all epochs
+
+	// qhw is the per-shard queue-depth high-water mark, observed by the
+	// router at every batch handoff (single writer) and read live by load
+	// scrapers. Reshapes that change the shard count start fresh marks.
+	qhw []metrics.PaddedCounter
+
+	// snapMu guards the identity of the per-shard slices (engines, chans,
+	// stats, qhw) across reshape epochs: LoadSnapshot readers take the read
+	// side from arbitrary goroutines while reshard swaps the slices under
+	// the write side. The router's own accesses need no lock — Reshape runs
+	// on the producer-serialized path, like every other mutation.
+	snapMu   sync.RWMutex
+	reshapes atomic.Int64 // applied reshape epochs (read live by Tuning scrapers)
+
+	// baseMerges/baseMergeTime bank the merge statistics of engine sets
+	// retired by reshard, so Close's totals survive the rebuild.
+	baseMerges    int
+	baseMergeTime time.Duration
 
 	// Timed-mode admission: the reorder buffer in front of routing. Nil for
 	// count windows.
@@ -246,6 +276,7 @@ func NewRouter(cfg Config, capacity int) *Router {
 		state:       make([]probeState, capacity),
 		probeRouted: make([]int, k),
 		free:        make([]chan []op, k),
+		qhw:         make([]metrics.PaddedCounter, k),
 	}
 	for i := range r.results {
 		r.results[i] = make([][]uint64, k)
@@ -257,11 +288,14 @@ func NewRouter(cfg Config, capacity int) *Router {
 		// hot path, so static runs skip them entirely.
 		r.stats = newLoadStats(k)
 		r.pol = cfg.Rebalance.withDefaults(cfg)
-		r.sample = newKeyRing(r.pol.SampleSize)
 		if r.pol.ForceEvery <= 0 {
 			r.reb = startRebalancer(r.stats, r.pol)
 		}
 	}
+	// The recent-key sample is always maintained (one ring write per insert):
+	// reshape epochs seed the new partitioner's quantile boundaries from it
+	// even when the run started without the adaptive layer.
+	r.sample = newKeyRing(r.pol.SampleSize)
 	if cfg.Timed {
 		r.reorder = ooo.New(cfg.Slack, cfg.Late, cfg.OnLate)
 	}
@@ -270,10 +304,10 @@ func NewRouter(cfg Config, capacity int) *Router {
 	}
 	for s := 0; s < k; s++ {
 		r.engines[s] = newEngine(cfg)
-		r.chans[s] = make(chan []op, 4)
-		// Channel capacity 4 + one pending in the router + one in the worker,
+		r.chans[s] = make(chan []op, shardChanCap)
+		// Channel capacity + one pending in the router + one in the worker,
 		// with headroom: after warmup every consumed batch finds a free slot.
-		r.free[s] = make(chan []op, 8)
+		r.free[s] = make(chan []op, freeChanCap)
 		r.wg.Add(1)
 		go r.worker(s)
 	}
@@ -366,9 +400,7 @@ func (r *Router) Push(a stream.Arrival) {
 	}
 	owner := r.clampShard(r.part.ShardOf(a.Key))
 	r.stats.insert(owner)
-	if r.sample != nil {
-		r.sample.add(a.Key)
-	}
+	r.sample.add(a.Key)
 	r.enqueue(owner, op{
 		kind: opInsert, stream: own, key: a.Key, seq: seq, te: wm,
 	})
@@ -435,6 +467,8 @@ func (r *Router) routeTimed(t ooo.Tuple) {
 	seq := r.heads[own]
 	r.heads[own]++
 	owner := r.clampShard(r.part.ShardOf(t.Key))
+	r.stats.insert(owner)
+	r.sample.add(t.Key)
 	r.enqueue(owner, op{
 		kind: opInsert, stream: own, key: t.Key, seq: seq, te: minTS, ts: t.TS,
 	})
@@ -483,7 +517,7 @@ func (r *Router) rebalance() {
 			wms[slot] = r.heads[slot] - r.wlen[slot]
 		}
 	}
-	r.moved.Add(int64(migrate(r.engines, r.cfg, part, wms)))
+	r.moved.Add(int64(migrate(r.engines, r.engines, r.cfg, part, wms)))
 	r.part = part
 	r.epochs.Add(1)
 	r.stats.reset()
@@ -505,6 +539,202 @@ func (r *Router) drainBarrier() {
 	}
 	r.barrier.Wait()
 }
+
+// Reshape describes a live structural or parameter change applied by
+// Router.Reshape at an epoch barrier. Zero (or nil) fields keep the current
+// value.
+type Reshape struct {
+	// Shards is the target shard count. Changing it is a full reshape epoch:
+	// the worker set is stopped at the drain barrier, a fresh engine set is
+	// spawned, live window slices migrate into it, and the retired engines
+	// are dropped. The new boundaries are the quantiles of the recent-key
+	// sample when it is thick enough (equal-width ranges otherwise), so under
+	// heavy skew the effective count can collapse below the request.
+	Shards int
+	// BatchSize swaps the routed-ops-per-batch bound for subsequent epochs.
+	BatchSize int
+	// Capacity swaps the in-flight ring capacity. The ring is empty at the
+	// reshape barrier (all routed arrivals are propagated), so the swap is a
+	// plain reallocation.
+	Capacity int
+	// Policy, when non-nil, replaces the adaptive rebalancing policy and
+	// enables the adaptive layer if it was off (count windows only).
+	Policy *Policy
+}
+
+// Reshape applies a live reconfiguration at an epoch barrier: it drains
+// every shard to quiescence, runs the ordered propagation to the frontier
+// (emptying the in-flight ring), and then swaps parameters and — for a shard
+// count change — the engine set itself, migrating live window contents
+// exactly as a rebalance epoch does. The match multiset is unaffected:
+// no op or result is in flight while the structure changes, and every probe
+// routed afterwards fans out under the partitioner that owns the migrated
+// tuples. Producer-serialized, like Push and Drain; the timed reorder buffer
+// is deliberately left untouched (flushing it would advance the watermark
+// and turn merely-buffered tuples late).
+func (r *Router) Reshape(q Reshape) {
+	if q.Shards < 0 || q.BatchSize < 0 || q.Capacity < 0 {
+		panic("shard: negative Reshape parameter")
+	}
+	if q.Policy != nil && r.cfg.Timed {
+		panic("shard: adaptive rebalancing is not supported in timed mode")
+	}
+	r.drainBarrier()
+	r.propagate()
+	if int(r.propHead.Load()) != r.n {
+		panic("shard: reshape barrier left the in-flight ring non-empty")
+	}
+	if q.BatchSize > 0 {
+		r.cfg.BatchSize = q.BatchSize
+	}
+	if q.Capacity > 0 && q.Capacity != r.capN {
+		r.resizeRing(q.Capacity)
+	}
+	if q.Policy != nil {
+		r.cfg.Adaptive = true
+		r.cfg.Rebalance = *q.Policy
+	}
+	if q.Shards > 0 && q.Shards != len(r.engines) {
+		r.reshard(q.Shards)
+	} else if q.Policy != nil {
+		r.restartAdaptive()
+	}
+	r.reshapes.Add(1)
+}
+
+// resizeRing replaces the in-flight completion ring. Only legal while the
+// ring is empty (the reshape barrier guarantees it): the workers are parked
+// at their channel receive, so the next batch send publishes the new slices
+// to them.
+func (r *Router) resizeRing(c int) {
+	k := len(r.engines)
+	r.capN = c
+	r.probeStream = make([]uint8, c)
+	r.probeSeq = make([]uint64, c)
+	r.results = make([][][]uint64, c)
+	for i := range r.results {
+		r.results[i] = make([][]uint64, k)
+	}
+	r.nbuck = make([]int32, c)
+	r.state = make([]probeState, c)
+}
+
+// reshard is the structural half of a reshape epoch: stop the worker set
+// (parked at the drain barrier, so closing the channels releases them to
+// exit), spawn a fresh engine set sized to the target count, migrate every
+// live window tuple into it, rebuild the routing fan-out state, and restart
+// the workers.
+func (r *Router) reshard(want int) {
+	for _, ch := range r.chans {
+		close(ch)
+	}
+	r.wg.Wait()
+	// Bank the retiring engines' merge statistics so Close's totals survive
+	// the rebuild.
+	for _, e := range r.engines {
+		m, t := e.merges(r.cfg.Self)
+		r.baseMerges += m
+		r.baseMergeTime += t
+	}
+	var part Partitioner
+	if p, ok := boundsFromSample(r.sample.snapshot(), want); ok {
+		part = p
+	} else {
+		part = NewRangePartitioner(want)
+	}
+	k := part.Shards()
+	cfg := r.cfg
+	cfg.Part = part
+	cfg.Shards = k
+	// Per-slot migration watermarks: the count-window eviction frontier, or
+	// the highest timestamp watermark any retiring store has applied (timed
+	// mode — released timestamps are monotone, so it is the global frontier).
+	var wms [2]uint64
+	for slot := 0; slot < 2; slot++ {
+		if cfg.Timed {
+			for _, e := range r.engines {
+				if w := e.stores[slot].wm; w > wms[slot] {
+					wms[slot] = w
+				}
+			}
+		} else if r.heads[slot] > r.wlen[slot] {
+			wms[slot] = r.heads[slot] - r.wlen[slot]
+		}
+	}
+	engines := make([]*engine, k)
+	for s := range engines {
+		engines[s] = newEngine(cfg)
+	}
+	r.moved.Add(int64(migrate(r.engines, engines, cfg, part, wms)))
+
+	chans := make([]chan []op, k)
+	free := make([]chan []op, k)
+	pend := make([]pendingBatch, k)
+	results := make([][][]uint64, r.capN)
+	for i := range results {
+		results[i] = make([][]uint64, k)
+	}
+	for s := 0; s < k; s++ {
+		chans[s] = make(chan []op, shardChanCap)
+		free[s] = make(chan []op, freeChanCap)
+		pend[s].first = -1
+	}
+	r.snapMu.Lock()
+	r.cfg = cfg
+	r.part = part
+	r.engines = engines
+	r.chans = chans
+	r.free = free
+	r.pend = pend
+	r.results = results
+	r.probeRouted = make([]int, k)
+	r.qhw = make([]metrics.PaddedCounter, k)
+	// The load accounting is sized per shard: drop it in the same critical
+	// section as the engine swap (a scraper must never pair new engines with
+	// old counters); restartAdaptive below rebuilds it at the new size.
+	r.stats = nil
+	r.snapMu.Unlock()
+	for s := 0; s < k; s++ {
+		r.wg.Add(1)
+		go r.worker(s)
+	}
+	r.restartAdaptive()
+}
+
+// restartAdaptive rebuilds the adaptive layer's accounting and monitor for
+// the current engine set and policy — called after a reshard (the counters
+// are sized per shard) and after a live policy swap. A no-op beyond stopping
+// a stale monitor when the adaptive layer is off.
+func (r *Router) restartAdaptive() {
+	if r.reb != nil {
+		r.reb.stop()
+		r.reb = nil
+	}
+	if !r.cfg.Adaptive {
+		return
+	}
+	r.pol = r.cfg.Rebalance.withDefaults(r.cfg)
+	stats := newLoadStats(len(r.engines))
+	r.snapMu.Lock()
+	r.stats = stats
+	r.snapMu.Unlock()
+	r.lastReb = r.n
+	if r.pol.ForceEvery <= 0 {
+		r.reb = startRebalancer(stats, r.pol)
+	}
+}
+
+// Shards returns the live shard count — reshape epochs can change it. Safe
+// from any goroutine.
+func (r *Router) Shards() int {
+	r.snapMu.RLock()
+	defer r.snapMu.RUnlock()
+	return len(r.engines)
+}
+
+// Reshapes returns how many reshape epochs have been applied. Safe from any
+// goroutine.
+func (r *Router) Reshapes() int { return int(r.reshapes.Load()) }
 
 // Drain quiesces the session deterministically: flush the reorder buffer
 // (timed mode — everything still buffered is admitted, advancing the
@@ -530,15 +760,19 @@ func (r *Router) Migrated() int { return int(r.moved.Load()) }
 
 // LoadSnapshot returns each shard's current load accounting: ops routed
 // since the last rebalance epoch (zero unless Adaptive — static runs skip
-// the accounting), pending queue depth, and resident window size. Every
-// field is read from an atomic (or a channel length), so the snapshot is
-// safe from any goroutine while pushes are in flight; it is weakly
-// consistent across shards, which is all a load monitor needs.
+// the accounting), pending queue depth with its monotonic high-water mark,
+// and resident window size. Every field is read from an atomic (or a channel
+// length) under the reshape read-lock, so the snapshot is safe from any
+// goroutine while pushes and reshapes are in flight; it is weakly consistent
+// across shards, which is all a load monitor needs.
 func (r *Router) LoadSnapshot() []ShardLoad {
+	r.snapMu.RLock()
+	defer r.snapMu.RUnlock()
 	out := make([]ShardLoad, len(r.engines))
 	for s := range out {
 		out[s] = ShardLoad{
 			QueueDepth: len(r.chans[s]),
+			QueueHW:    r.qhw[s].Load(),
 			Resident:   int(r.engines[s].resident.Load()),
 		}
 		if r.stats != nil {
@@ -585,13 +819,19 @@ func (r *Router) flushExpired() {
 	}
 }
 
-// flush ships a shard's pending batch to its worker.
+// flush ships a shard's pending batch to its worker, updating the shard's
+// queue-depth high-water mark (router goroutine is the single writer; the
+// depth observed right after the send is the ride-along sample that makes
+// the mark monotone without touching the worker's consume path).
 func (r *Router) flush(s int) {
 	p := &r.pend[s]
 	if len(p.ops) == 0 {
 		return
 	}
 	r.chans[s] <- p.ops
+	if d := uint64(len(r.chans[s])); d > r.qhw[s].Load() {
+		r.qhw[s].Store(d)
+	}
 	p.ops = nil
 	p.first = -1
 }
@@ -640,6 +880,8 @@ func (r *Router) Close() join.Stats {
 		st.Merges += m
 		st.MergeTime += t
 	}
+	st.Merges += r.baseMerges
+	st.MergeTime += r.baseMergeTime
 	return st
 }
 

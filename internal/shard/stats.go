@@ -60,7 +60,13 @@ type ShardLoad struct {
 	Inserts    uint64 // tuple inserts routed since the last rebalance
 	Probes     uint64 // probe fan-ins routed since the last rebalance
 	QueueDepth int    // batches pending in the shard's channel
-	Resident   int    // tuples currently stored by the shard (both streams)
+	// QueueHW is the monotonic high-water mark of QueueDepth, observed at
+	// every batch handoff since the shard engine was (re)created — a reshape
+	// that changes the shard count starts fresh marks, because the shard
+	// identities change. The tuning controller reads it to detect sustained
+	// queue pressure that an instantaneous depth sample would miss.
+	QueueHW  uint64
+	Resident int // tuples currently stored by the shard (both streams)
 }
 
 // keyRing is the streaming key sample the rebalancer recomputes boundaries

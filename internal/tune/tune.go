@@ -1,0 +1,82 @@
+// Package tune is the control-plane brain shared by the engine layers: the
+// ModeAuto runtime decision table (ResolveRuntime, consulted once at Open)
+// and the feedback controller (Controller, consulted periodically while the
+// session runs) that turns live load observations into bounded
+// reconfiguration decisions.
+//
+// The package is deliberately free of engine types and goroutines — callers
+// sample their own metrics, feed them in, and apply the decisions — so the
+// decision logic is testable as a pure function of its inputs.
+package tune
+
+// Runtime identifies the execution runtime the auto decision table selects.
+// The public Mode constants in the root package map onto these one-to-one.
+type Runtime int
+
+const (
+	// Serial is the single-threaded incremental IBWJ.
+	Serial Runtime = iota
+	// Shared is the paper's parallel shared-index join.
+	Shared
+	// Sharded is the key-range sharded runtime over count windows.
+	Sharded
+	// ShardedTime is the sharded runtime over time-based windows.
+	ShardedTime
+)
+
+// String names the runtime (matching the root package's mode names).
+func (r Runtime) String() string {
+	switch r {
+	case Serial:
+		return "serial"
+	case Shared:
+		return "shared"
+	case Sharded:
+		return "sharded"
+	case ShardedTime:
+		return "sharded-time"
+	default:
+		return "unknown"
+	}
+}
+
+// Workload summarizes the configuration signals the auto decision table
+// reads. The caller (Config.validate) folds its option set into these
+// booleans; keeping the table over an abstract workload rather than the
+// concrete Config is what lets it live outside the root package.
+type Workload struct {
+	// TimeWindow: the caller configured a time-based window (Span > 0).
+	TimeWindow bool
+	// ChainedBackend: the selected backend only has a serial adapter.
+	ChainedBackend bool
+	// ShardedKnobs: any sharded-runtime knob is set (shard count,
+	// partitioner, adaptive rebalancing, auto-tuning).
+	ShardedKnobs bool
+	// SharedKnobs: any shared-runtime knob is set (threads, task size,
+	// blocking merge, latency recording).
+	SharedKnobs bool
+	// Cores is the scheduler parallelism available (GOMAXPROCS).
+	Cores int
+}
+
+// ResolveRuntime is ModeAuto's decision table: a time window selects the
+// timed sharded runtime, a chained backend forces serial, explicit per-mode
+// knobs select their mode (sharded knobs win over shared ones), and
+// otherwise multicore hosts get the sharded runtime and single-core hosts
+// the serial one.
+func ResolveRuntime(w Workload) Runtime {
+	switch {
+	case w.TimeWindow:
+		return ShardedTime
+	case w.ChainedBackend:
+		return Serial
+	case w.ShardedKnobs:
+		return Sharded
+	case w.SharedKnobs:
+		return Shared
+	case w.Cores > 1:
+		return Sharded
+	default:
+		return Serial
+	}
+}

@@ -216,7 +216,12 @@ type ShardLoad struct {
 	Inserts    uint64 // tuple inserts routed since the last rebalance epoch
 	Probes     uint64 // probe fan-ins routed since the last rebalance epoch
 	QueueDepth int    // op batches pending in the shard's queue
-	Resident   int    // tuples currently stored by the shard (both streams)
+	// QueueHW is the monotonic high-water mark of QueueDepth since the
+	// shard was (re)created — a reshape that changes the shard count starts
+	// fresh marks. Sustained pressure shows up here even when instantaneous
+	// depth samples keep missing it.
+	QueueHW  uint64
+	Resident int // tuples currently stored by the shard (both streams)
 }
 
 // runBatch is the shared tail of every batch wrapper: push the whole input
@@ -325,15 +330,22 @@ type RebalancePolicy struct {
 // embedded JoinOptions carry the windows, band, backend, and index tuning of
 // the per-shard join instances; OnMatch observes matches in global arrival
 // order. Chained-index backends are not supported in sharded mode.
+//
+// Which of these knobs can change after Open — and how the AutoTune
+// feedback controller drives them — is tabulated in docs/TUNING.md,
+// section "Live reconfiguration and the AutoTune controller".
 type ShardedOptions struct {
 	JoinOptions
 	// Shards is the number of key-range shards, each served by its own
 	// worker goroutine and single-writer index (default GOMAXPROCS).
-	// Ignored when Partitioner is set.
+	// Ignored when Partitioner is set. On a long-lived Engine this is only
+	// the starting count: Engine.Reconfigure (and the AutoTune controller)
+	// can change it live.
 	Shards int
 	// BatchSize is the number of routed operations a shard accumulates
 	// before its queue is flushed (default 64). Larger batches amortize
 	// queue handoff; smaller batches shorten the ordered-merge delay.
+	// Live-tunable through Engine.Reconfigure.
 	BatchSize int
 	// Partitioner overrides the default equal-width key ranges; use
 	// QuantilePartition for skewed key distributions.
