@@ -53,6 +53,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		defer stop()
 		return runServe(ctx, args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "route" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runRoute(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("pimjoin", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

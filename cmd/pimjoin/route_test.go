@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/cluster"
+	"pimtree/internal/server"
+)
+
+func TestRouteFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                // missing -nodes
+		{"-nodes", " , "}, // -nodes with only empty entries
+		{"-nodes", "x", "-backend", "nope"},
+		{"-nodes", "x", "-degrade", "nope"},
+		{"-nodes", "x", "-sub-policy", "nope"},
+		{"-nodes", "x", "extra-arg"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := runRoute(context.Background(), args, &out, &errw); code != 2 {
+			t.Errorf("runRoute(%v) = %d, want 2 (stderr %q)", args, code, errw.String())
+		}
+	}
+	// A config the cluster tier itself rejects (unreachable node) exits 1,
+	// not 2: the flags parsed fine.
+	var out, errw bytes.Buffer
+	code := runRoute(context.Background(), []string{
+		"-nodes", "127.0.0.1:1", "-dial-timeout", "200ms", "-w", "64",
+	}, &out, &errw)
+	if code != 1 {
+		t.Errorf("unreachable node: exit %d, want 1 (stderr %q)", code, errw.String())
+	}
+}
+
+// TestRouteEndToEnd drives the full cluster tier exactly as the CI smoke job
+// does: two real serve nodes, the router in front, a loopback client pushing
+// through it, a live node join through the admin endpoint mid-run, and a
+// graceful drain of the whole stack. The matches that come back over the
+// wire must be multiset-identical to a single direct engine.
+func TestRouteEndToEnd(t *testing.T) {
+	const (
+		w    = 256
+		n    = 3000
+		seed = 11
+	)
+	diff := pimtree.DiffForMatchRate(w, 2)
+	arr := pimtree.Interleave(seed, pimtree.UniformSource(seed+1), pimtree.UniformSource(seed+2), 0.5, n)
+
+	// Direct single-engine oracle.
+	want := directOracle(t, pimtree.Config{
+		Mode: pimtree.ModeSharded, WindowR: w, WindowS: w,
+		Diff: diff, Backend: pimtree.PIMTree, Shards: 3,
+	}, arr)
+	if len(want) == 0 {
+		t.Fatal("vacuous oracle: no matches")
+	}
+
+	// Three serve nodes on ephemeral ports: two initial members plus one
+	// spare that joins mid-run.
+	nodeCtx, nodeCancel := context.WithCancel(context.Background())
+	defer nodeCancel()
+	nodeReady := make(chan *server.Server, 3)
+	serveReady = func(s *server.Server) { nodeReady <- s }
+	defer func() { serveReady = nil }()
+
+	nodeCode := make(chan int, 3)
+	nodeAddrs := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		var errw syncBuffer
+		go func() {
+			nodeCode <- runServe(nodeCtx, []string{
+				"-addr", "127.0.0.1:0", "-w", "64", "-mode", "sharded", "-shards", "2",
+			}, io.Discard, &errw)
+		}()
+		select {
+		case s := <-nodeReady:
+			nodeAddrs = append(nodeAddrs, s.Addr().String())
+		case <-time.After(10 * time.Second):
+			t.Fatal("serve node never became ready")
+		}
+	}
+	spare := nodeAddrs[2]
+
+	// The router in front of the first two nodes.
+	routeCtx, routeCancel := context.WithCancel(context.Background())
+	defer routeCancel()
+	type routed struct {
+		srv *server.Server
+		fe  *cluster.Frontend
+	}
+	routerReady := make(chan routed, 1)
+	routeReady = func(s *server.Server, fe *cluster.Frontend) { routerReady <- routed{s, fe} }
+	defer func() { routeReady = nil }()
+
+	var rout, rerr syncBuffer
+	routeCode := make(chan int, 1)
+	go func() {
+		routeCode <- runRoute(routeCtx, []string{
+			"-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-nodes", nodeAddrs[0] + "," + nodeAddrs[1],
+			"-w", fmt.Sprint(w), "-diff", fmt.Sprint(diff), "-backend", "pim",
+			"-node-shards", "2", "-batch", "16",
+			"-sub-queue", "65536", // hold every match while the client is still pushing
+			"-stats-every", "10ms",
+		}, &rout, &rerr)
+	}()
+	var rt routed
+	select {
+	case rt = <-routerReady:
+	case <-time.After(15 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	c, err := server.Dial(rt.srv.Addr().String(), server.DialOptions{Subscribe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PushBatch(arr[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live node join mid-run through the admin endpoint, then the rest of
+	// the stream: the handoff must not lose or duplicate a single match.
+	admin := "http://" + rt.srv.AdminAddr().String()
+	body, _ := json.Marshal(map[string]string{"addr": spare})
+	resp, err := http.Post(admin+"/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cluster/join: status %d", resp.StatusCode)
+	}
+	if err := c.PushBatch(arr[n/2:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DrainWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameMatches(t, got, want)
+
+	// The membership map reflects the join.
+	resp, err = http.Get(admin + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Nodes []struct {
+			Addr string `json:"addr"`
+		} `json:"nodes"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Nodes) != 3 || snap.Epoch != 1 {
+		t.Fatalf("/cluster after join: %d nodes epoch %d, want 3 nodes epoch 1", len(snap.Nodes), snap.Epoch)
+	}
+
+	// Graceful drain: router first, then the nodes it still holds sessions on.
+	routeCancel()
+	select {
+	case got := <-routeCode:
+		if got != 0 {
+			t.Fatalf("route exit code %d, want 0 (stderr %q)", got, rerr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("route did not exit after the shutdown signal")
+	}
+	if s := rerr.String(); !strings.Contains(s, "draining") || !strings.Contains(s, fmt.Sprintf("tuples=%d", n)) {
+		t.Fatalf("missing drain/final lines on route stderr: %q", s)
+	}
+	if !strings.Contains(rout.String(), "mode=sharded addr=") || !strings.Contains(rout.String(), "nodes=2") {
+		t.Fatalf("missing serving line on route stdout: %q", rout.String())
+	}
+	nodeCancel()
+	for i := 0; i < 3; i++ {
+		select {
+		case got := <-nodeCode:
+			if got != 0 {
+				t.Fatalf("serve exit code %d, want 0", got)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("a serve node did not exit after the shutdown signal")
+		}
+	}
+}
+
+// directOracle runs the whole arrival stream through one local engine and
+// returns every match. The iterator is armed before the first push — matches
+// propagated before arming are dropped by design.
+func directOracle(t *testing.T, cfg pimtree.Config, arr []pimtree.Arrival) []pimtree.Match {
+	t.Helper()
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := e.Matches()
+	var ms []pimtree.Match
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range seq {
+			ms = append(ms, m)
+		}
+	}()
+	if err := e.PushBatch(arr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return ms
+}
+
+// requireSameMatches asserts two match streams are the same multiset.
+func requireSameMatches(t *testing.T, got, want []pimtree.Match) {
+	t.Helper()
+	count := func(ms []pimtree.Match) map[pimtree.Match]int {
+		m := make(map[pimtree.Match]int, len(ms))
+		for _, x := range ms {
+			m[x]++
+		}
+		return m
+	}
+	gc, wc := count(got), count(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(got), len(want))
+	}
+	for k, n := range wc {
+		if gc[k] != n {
+			t.Fatalf("match %+v: got %d, want %d", k, gc[k], n)
+		}
+	}
+}

@@ -23,8 +23,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	fs := flag.NewFlagSet("pimjoin serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:9040", "TCP listen address of the binary ingest/egress protocol")
-		admin = fs.String("admin", "", "HTTP admin listen address serving /stats, /metrics, /healthz (empty disables)")
+		addr   = fs.String("addr", "127.0.0.1:9040", "TCP listen address of the binary ingest/egress protocol")
+		admin  = fs.String("admin", "", "HTTP admin listen address serving /stats, /metrics, /healthz (empty disables)")
+		nodeID = fs.String("node-id", "", "node identity in /stats, /healthz, and cluster sessions (default: the listen address)")
 
 		w        = fs.Int("w", 1<<16, "window length (both streams)")
 		ws       = fs.Int("ws", 0, "stream-S window length (0 = same as -w)")
@@ -120,6 +121,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		AdminAddr:       *admin,
 		SubscriberQueue: *subQueue,
 		Slow:            slow,
+		NodeID:          *nodeID,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, "pimjoin "+format+"\n", a...)
 		},

@@ -1,0 +1,915 @@
+// Package cluster implements the router side of the distributed
+// shared-nothing tier: a Frontend key-range-partitions ingest across N
+// remote `pimjoin serve` nodes, ships pre-sequenced ops to each node's
+// member session (internal/server's FrameJoinCluster leg), merges the
+// per-node match streams back into one globally ordered feed, and
+// aggregates per-node watermarks into a global frontier.
+//
+// The design is shard.Router lifted one level: the Frontend performs ALL
+// global sequencing — per-stream sequence heads, band fan-out with the
+// [te, tl) window captured at admission, eviction watermarks, timed-mode
+// reordering — and the nodes only apply ops in shipment order (shard.Member)
+// and report each probe's matched sequences. Exactness therefore follows
+// from the same argument as the single-machine runtime: ops reach every
+// engine in global arrival order, liveness is filtered by windows captured
+// at admission, and the composition of the node partitioner with each
+// node's local partitioner still gives every tuple exactly one home while
+// probes fan out to every intersecting (node, local shard) pair. The match
+// multiset over 1, 2, or N nodes is identical to a single direct Engine on
+// the same input.
+//
+// Frontend implements server.Engine, so `pimjoin route` reuses the entire
+// serving layer — client connections, producer serialization, match
+// fan-out, drain ordering, admin endpoints — unchanged.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimtree"
+	"pimtree/internal/join"
+	"pimtree/internal/metrics"
+	"pimtree/internal/ooo"
+	"pimtree/internal/server"
+	"pimtree/internal/shard"
+)
+
+// DegradePolicy selects what the router does when a node is declared down.
+type DegradePolicy int
+
+const (
+	// Fail (the default) aborts the frontend: in-flight probes pending on
+	// the dead node complete with empty results so the pipeline drains, and
+	// every subsequent push or drain returns the failure — the client learns
+	// that results past the failure point are incomplete.
+	Fail DegradePolicy = iota
+	// Shed keeps serving without the dead node's key range: inserts owned by
+	// it are dropped and probes skip it (both counted by Sheds), while the
+	// surviving ranges keep exact semantics. Use RemoveNode afterwards to
+	// rebalance the ring over the survivors.
+	Shed
+)
+
+// String names the policy.
+func (p DegradePolicy) String() string {
+	if p == Shed {
+		return "shed"
+	}
+	return "fail"
+}
+
+// Config configures a cluster Frontend.
+type Config struct {
+	// Nodes are the serve-node protocol addresses (required, >= 1). Node i
+	// initially owns the i-th equal-width slice of the key domain.
+	Nodes []string
+
+	// Engine shape, imposed identically on every member session.
+	Timed   bool
+	Self    bool
+	WR, WS  int    // count-window lengths
+	Span    uint64 // timed: window duration
+	MaxLive int    // timed: live-tuple bound per window
+	Diff    uint32 // band half-width
+	Backend pimtree.Backend
+
+	// Out-of-order admission (timed mode): same semantics as
+	// pimtree.Config.Slack/LatePolicy. LateNone enforces strict timestamp
+	// order at PushBatch.
+	Slack      uint64
+	LatePolicy pimtree.LatePolicy
+
+	// LocalShards is the per-node sub-shard count shipped in the join frame
+	// (0 = the node's GOMAXPROCS default).
+	LocalShards int
+	// BatchSize bounds ops per node before an eager flush (default 64; every
+	// PushBatch flushes regardless, so this only caps frame size under large
+	// batches).
+	BatchSize int
+	// Capacity bounds in-flight (routed, unpropagated) arrivals — the
+	// router's backpressure ring (default 16Ki).
+	Capacity int
+	// NodeRing bounds each member's local in-flight probe ring (0 = member
+	// default).
+	NodeRing int
+
+	// DialTimeout is the per-node dial budget including retries (default
+	// 15s): dialing backs off and retries until the node accepts, so the
+	// router may be started before its nodes.
+	DialTimeout time.Duration
+	// WriteTimeout, when positive, bounds each op-frame write to a node.
+	WriteTimeout time.Duration
+	// MaxFrame bounds wire payloads both ways (default server default).
+	MaxFrame int
+
+	// PingInterval is the health-probe cadence (default 1s); FailAfter is
+	// how many consecutive failed probes — or probe intervals without any
+	// frame from the node — declare it down (default 5).
+	PingInterval time.Duration
+	FailAfter    int
+	// Degrade selects the routing policy once a node is down.
+	Degrade DegradePolicy
+
+	// Logf receives lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 14
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 15 * time.Second
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 5
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Nodes) == 0 {
+		return errors.New("cluster: at least one node address is required")
+	}
+	switch c.Backend {
+	case pimtree.PIMTree, pimtree.IMTree, pimtree.BPlusTree, pimtree.BwTree:
+	default:
+		return fmt.Errorf("cluster: backend %s has no member-session adapter", c.Backend)
+	}
+	if c.Timed {
+		if c.Span == 0 {
+			return errors.New("cluster: Span must be positive in timed mode")
+		}
+		if c.MaxLive <= 0 {
+			return errors.New("cluster: MaxLive must be positive in timed mode")
+		}
+		if c.LatePolicy == pimtree.LateCall {
+			return errors.New("cluster: LateCall is not supported by the router (no OnLate hook)")
+		}
+	} else {
+		if c.WR <= 0 {
+			return errors.New("cluster: WR must be positive")
+		}
+		if !c.Self && c.WS <= 0 {
+			return errors.New("cluster: WS must be positive")
+		}
+		if c.Slack > 0 || c.LatePolicy != pimtree.LateNone {
+			return errors.New("cluster: Slack/LatePolicy require timed mode")
+		}
+	}
+	return nil
+}
+
+// probeState tracks one arrival's completion across its fan-out nodes,
+// padded against false sharing (same layout as the shard layer's).
+type probeState struct {
+	pending   atomic.Int32
+	completed atomic.Bool
+	_         [64 - 5]byte
+}
+
+// Frontend is the cluster router's engine: it implements server.Engine over
+// N remote member sessions. PushBatch/Drain/Close are producer-serialized
+// (the serving layer's single producer goroutine); Stats, ShardLoads,
+// Tuning, Matches, and the membership operations are safe from any
+// goroutine.
+type Frontend struct {
+	cfg  Config
+	band join.Band
+	ccfg server.ClusterConfig
+
+	// prodMu serializes the producer path (pushes, drain, close) with
+	// membership epochs, which arrive from admin goroutines.
+	prodMu sync.Mutex
+	closed bool
+	lastTS uint64 // strict-mode timestamp guard
+
+	// setMu guards the node-set identity across membership epochs for
+	// readers (stats scrapers, the health prober); the producer path and
+	// membership changes mutate under prodMu.
+	setMu sync.RWMutex
+	nodes []*node
+	part  shard.RangePartitioner
+	epoch atomic.Int64
+
+	heads  [2]uint64 // per-stream global sequence counters
+	wlen   [2]uint64
+	n      int // arrivals routed so far
+	capN   int
+	routed atomic.Int64
+
+	// In-flight completion ring, ring-indexed by arrival ordinal modulo
+	// capN; bucket b of a slot belongs to fan-out node s1+b, written by that
+	// node's reader goroutine (or nilled by the shed/down paths).
+	probeStream []uint8
+	probeSeq    []uint64
+	results     [][][]uint64
+	nbuck       []int32
+	state       []probeState
+
+	// Ordered propagation and backpressure (shard.Router's proven try-lock
+	// and lost-wakeup-free waiter protocols; see there for the memory-model
+	// argument). Quiesce waiters share bpCond: propagate broadcasts whenever
+	// the frontier advances and someone is parked.
+	propLock atomic.Bool
+	propHead atomic.Int64
+	matches  uint64
+	matchesA atomic.Uint64
+	pull     *matchQueue
+
+	bpMu      sync.Mutex
+	bpCond    *sync.Cond
+	bpWaiters atomic.Int32
+
+	reorder *ooo.Reorderer // timed-mode admission; nil for count windows
+
+	// First fatal failure under the Fail policy; failed is its lock-free
+	// fast path.
+	errMu  sync.Mutex
+	err    error
+	failed atomic.Bool
+
+	sheds         atomic.Uint64 // ops shed around down nodes
+	handoffs      atomic.Uint64 // completed export/import moves
+	handoffTuples atomic.Uint64 // window tuples moved between nodes
+
+	start    time.Time
+	pingStop chan struct{}
+	pingDone chan struct{}
+}
+
+// New dials every configured node, opens its member session, and returns
+// the running frontend. Dialing retries with backoff within DialTimeout, so
+// the router tolerates being started before its nodes.
+func New(cfg Config) (*Frontend, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fe := &Frontend{
+		cfg:  cfg,
+		band: join.Band{Diff: cfg.Diff},
+		ccfg: server.ClusterConfig{
+			Timed: cfg.Timed, Self: cfg.Self, Backend: cfg.Backend,
+			Shards: cfg.LocalShards, WR: cfg.WR, WS: cfg.WS,
+			MaxLive: cfg.MaxLive, Span: cfg.Span,
+			Batch: cfg.BatchSize, Ring: cfg.NodeRing,
+		},
+		capN:        cfg.Capacity,
+		probeStream: make([]uint8, cfg.Capacity),
+		probeSeq:    make([]uint64, cfg.Capacity),
+		results:     make([][][]uint64, cfg.Capacity),
+		nbuck:       make([]int32, cfg.Capacity),
+		state:       make([]probeState, cfg.Capacity),
+		pull:        newMatchQueue(),
+		pingStop:    make(chan struct{}),
+		pingDone:    make(chan struct{}),
+	}
+	fe.wlen = [2]uint64{uint64(cfg.WR), uint64(cfg.WS)}
+	if cfg.Self {
+		fe.wlen[1] = fe.wlen[0]
+	}
+	if cfg.Timed {
+		// MaxLive plays the window-length role, as in the shard layer.
+		fe.wlen = [2]uint64{uint64(cfg.MaxLive), uint64(cfg.MaxLive)}
+		fe.reorder = ooo.New(cfg.Slack, oooPolicy(cfg.LatePolicy), nil)
+	}
+	fe.bpCond = sync.NewCond(&fe.bpMu)
+	for i := range fe.results {
+		fe.results[i] = make([][]uint64, len(cfg.Nodes))
+	}
+	for pos, addr := range cfg.Nodes {
+		nd, err := fe.dialNode(addr)
+		if err != nil {
+			for _, d := range fe.nodes {
+				d.leaving.Store(true)
+				d.mc.Close()
+			}
+			return nil, err
+		}
+		nd.pos = pos
+		fe.nodes = append(fe.nodes, nd)
+	}
+	fe.part = shard.NewRangePartitioner(len(fe.nodes))
+	for _, nd := range fe.nodes {
+		go nd.reader()
+	}
+	go fe.prober()
+	fe.start = time.Now()
+	fe.cfg.Logf("cluster: routing across %d nodes (policy %s)", len(fe.nodes), cfg.Degrade)
+	return fe, nil
+}
+
+// dialNode dials one node's member session, retrying with backoff within
+// the dial budget.
+func (fe *Frontend) dialNode(addr string) (*node, error) {
+	deadline := time.Now().Add(fe.cfg.DialTimeout)
+	backoff := 100 * time.Millisecond
+	for {
+		attempt := min(5*time.Second, time.Until(deadline))
+		mc, err := server.DialMember(context.Background(), addr, fe.ccfg, server.MemberDialOptions{
+			Timeout:      attempt,
+			WriteTimeout: fe.cfg.WriteTimeout,
+			MaxFrame:     fe.cfg.MaxFrame,
+		})
+		if err == nil {
+			nd := newNode(fe, addr, mc)
+			fe.cfg.Logf("cluster: joined node %s at %s", nd.id, addr)
+			return nd, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("cluster: node %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		backoff = min(backoff*2, time.Second)
+	}
+}
+
+// sid folds a stream id onto its store slot (self-joins use slot 0 only).
+func (fe *Frontend) sid(s uint8) uint8 {
+	if fe.cfg.Self {
+		return 0
+	}
+	return s
+}
+
+// oooPolicy maps the public late policy onto the reorder buffer's (LateCall
+// is rejected at validation — the router has no OnLate hook).
+func oooPolicy(p pimtree.LatePolicy) ooo.Policy {
+	if p == pimtree.LateEmit {
+		return ooo.Emit
+	}
+	return ooo.Drop
+}
+
+// opposite returns the other stream id.
+func opposite(s uint8) uint8 {
+	if s == uint8(pimtree.R) {
+		return uint8(pimtree.S)
+	}
+	return uint8(pimtree.R)
+}
+
+// clampNode keeps a partitioner result inside the node array.
+func (fe *Frontend) clampNode(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p >= len(fe.nodes) {
+		return len(fe.nodes) - 1
+	}
+	return p
+}
+
+// admit claims the ring slot for the next arrival, flushing and blocking
+// while the ring is full (results the merge stage is waiting on may still
+// sit in pending batches).
+func (fe *Frontend) admit() int {
+	if fe.n-int(fe.propHead.Load()) >= fe.capN {
+		fe.flushAll()
+		// Probes that completed without any live fan-out have no reader to
+		// propagate them; run a pass before parking.
+		fe.propagate()
+		fe.bpMu.Lock()
+		fe.bpWaiters.Add(1)
+		for fe.n-int(fe.propHead.Load()) >= fe.capN {
+			fe.bpCond.Wait()
+		}
+		fe.bpWaiters.Add(-1)
+		fe.bpMu.Unlock()
+	}
+	slot := fe.n % fe.capN
+	fe.state[slot].completed.Store(false)
+	return slot
+}
+
+// route routes one count-window arrival: a probe op to every node whose
+// range intersects the band interval, then an insert op to the key's owner
+// node — shard.Router.Push over nodes.
+func (fe *Frontend) route(s uint8, key uint32) {
+	i := fe.n
+	slot := fe.admit()
+	own := fe.sid(s)
+	opp := own
+	if !fe.cfg.Self {
+		opp = fe.sid(opposite(s))
+	}
+	tl := fe.heads[opp]
+	te := uint64(0)
+	if tl > fe.wlen[opp] {
+		te = tl - fe.wlen[opp]
+	}
+	lo, hi := fe.band.Range(key)
+	fe.fanProbe(i, slot, s, own, opp, lo, hi, te, tl)
+
+	seq := fe.heads[own]
+	fe.heads[own]++
+	wm := uint64(0)
+	if seq+1 > fe.wlen[own] {
+		wm = seq + 1 - fe.wlen[own]
+	}
+	fe.routeInsert(own, key, seq, wm, 0)
+	fe.n++
+	fe.routed.Store(int64(fe.n))
+}
+
+// routeTimed routes one watermark-released timed tuple — the
+// shard.Router.routeTimed analogue (released timestamps are non-decreasing,
+// which keeps the member stores' ring eviction and the probes' seq < tl
+// bound exact).
+func (fe *Frontend) routeTimed(t ooo.Tuple) {
+	i := fe.n
+	slot := fe.admit()
+	own := fe.sid(t.Stream)
+	opp := own
+	if !fe.cfg.Self {
+		opp = fe.sid(opposite(t.Stream))
+	}
+	tl := fe.heads[opp]
+	var minTS uint64
+	if t.TS >= fe.cfg.Span {
+		minTS = t.TS - fe.cfg.Span + 1
+	}
+	lo, hi := fe.band.Range(t.Key)
+	fe.fanProbe(i, slot, t.Stream, own, opp, lo, hi, minTS, tl)
+
+	seq := fe.heads[own]
+	fe.heads[own]++
+	fe.routeInsert(own, t.Key, seq, minTS, t.TS)
+	fe.n++
+	fe.routed.Store(int64(fe.n))
+}
+
+// fanProbe fans one probe out to the nodes intersecting [lo, hi]. Buckets of
+// down nodes are nilled and pre-completed (the shed path), so the slot still
+// retires; probed is the window the probe scans (opp for two-way joins).
+func (fe *Frontend) fanProbe(i, slot int, s, own, probed uint8, lo, hi uint32, te, tl uint64) {
+	s1 := fe.clampNode(fe.part.ShardOf(lo))
+	s2 := fe.clampNode(fe.part.ShardOf(hi))
+	fe.probeStream[slot] = s
+	fe.probeSeq[slot] = fe.heads[own]
+	fe.nbuck[slot] = int32(s2 - s1 + 1)
+	fe.state[slot].pending.Store(int32(s2 - s1 + 1))
+	for p := s1; p <= s2; p++ {
+		nd := fe.nodes[p]
+		ok := nd.alive.Load() && nd.pushOutstanding(outstanding{
+			idx: uint64(i), slot: int32(slot), bucket: int32(p - s1),
+		})
+		if !ok {
+			// Down node: its bucket must not leak the slot's previous
+			// tenant's matches, and its pending share completes here.
+			fe.results[slot][p-s1] = nil
+			fe.sheds.Add(1)
+			if fe.state[slot].pending.Add(-1) == 0 {
+				fe.state[slot].completed.Store(true)
+			}
+			continue
+		}
+		nd.pend = append(nd.pend, shard.Op{
+			Stream: probed, Lo: lo, Hi: hi, TE: te, TL: tl, Idx: uint64(i),
+		})
+		nd.probes.Add(1)
+		if len(nd.pend) >= fe.cfg.BatchSize {
+			fe.flushNode(nd)
+		}
+	}
+}
+
+// routeInsert ships one insert op to the key's owner node.
+func (fe *Frontend) routeInsert(own uint8, key uint32, seq, wm, ts uint64) {
+	nd := fe.nodes[fe.clampNode(fe.part.ShardOf(key))]
+	if !nd.alive.Load() {
+		fe.sheds.Add(1)
+		return
+	}
+	nd.pend = append(nd.pend, shard.Op{
+		Insert: true, Stream: own, Key: key, Seq: seq, TE: wm, TS: ts,
+	})
+	nd.inserts.Add(1)
+	if len(nd.pend) >= fe.cfg.BatchSize {
+		fe.flushNode(nd)
+	}
+}
+
+// flushNode ships a node's pending op batch.
+func (fe *Frontend) flushNode(nd *node) {
+	if len(nd.pend) == 0 {
+		return
+	}
+	ops := nd.pend
+	nd.pend = nd.pend[:0]
+	if !nd.alive.Load() {
+		return
+	}
+	if err := nd.mc.SendOps(ops); err != nil {
+		fe.nodeDown(nd, fmt.Errorf("send ops: %w", err))
+	}
+}
+
+// flushAll ships every node's pending batch.
+func (fe *Frontend) flushAll() {
+	for _, nd := range fe.nodes {
+		fe.flushNode(nd)
+	}
+}
+
+// propagate is the order-preserving merge stage across nodes: under a
+// try-lock, emit the matches of every completed arrival at the ring head in
+// arrival order; within one arrival, node buckets are emitted in node
+// order, which is key-range order. Same retry protocol as shard.Router.
+func (fe *Frontend) propagate() {
+	for {
+		if !fe.propLock.CompareAndSwap(false, true) {
+			return
+		}
+		routed := int(fe.routed.Load())
+		head := int(fe.propHead.Load())
+		advanced := false
+		for head < routed && fe.state[head%fe.capN].completed.Load() {
+			h := head % fe.capN
+			for _, bucket := range fe.results[h][:fe.nbuck[h]] {
+				fe.matches += uint64(len(bucket))
+				for _, mseq := range bucket {
+					fe.pull.push(pimtree.Match{
+						ProbeStream: pimtree.StreamID(fe.probeStream[h]),
+						ProbeSeq:    fe.probeSeq[h],
+						MatchSeq:    mseq,
+					})
+				}
+			}
+			head++
+			advanced = true
+		}
+		if advanced {
+			fe.matchesA.Store(fe.matches)
+			fe.propHead.Store(int64(head))
+		}
+		fe.propLock.Store(false)
+		if advanced && fe.bpWaiters.Load() > 0 {
+			fe.bpMu.Lock()
+			fe.bpCond.Broadcast()
+			fe.bpMu.Unlock()
+		}
+		routed = int(fe.routed.Load())
+		if head >= routed || !fe.state[head%fe.capN].completed.Load() {
+			return
+		}
+	}
+}
+
+// waitQuiesce blocks until every routed arrival has propagated (prodMu
+// held, pending batches already flushed).
+func (fe *Frontend) waitQuiesce(ctx context.Context) error {
+	fe.propagate()
+	stop := context.AfterFunc(ctx, func() {
+		fe.bpMu.Lock()
+		fe.bpCond.Broadcast()
+		fe.bpMu.Unlock()
+	})
+	defer stop()
+	fe.bpMu.Lock()
+	defer fe.bpMu.Unlock()
+	fe.bpWaiters.Add(1)
+	defer fe.bpWaiters.Add(-1)
+	for int(fe.propHead.Load()) != fe.n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fe.bpCond.Wait()
+	}
+	return nil
+}
+
+// fail records the first fatal failure (Fail policy).
+func (fe *Frontend) fail(err error) {
+	fe.errMu.Lock()
+	if fe.err == nil {
+		fe.err = err
+	}
+	fe.errMu.Unlock()
+	fe.failed.Store(true)
+}
+
+// errLoad returns the recorded fatal failure, if any.
+func (fe *Frontend) errLoad() error {
+	if !fe.failed.Load() {
+		return nil
+	}
+	fe.errMu.Lock()
+	defer fe.errMu.Unlock()
+	return fe.err
+}
+
+// --- server.Engine ---
+
+// Mode reports the cluster-wide execution mode.
+func (fe *Frontend) Mode() pimtree.Mode {
+	if fe.cfg.Timed {
+		return pimtree.ModeShardedTime
+	}
+	return pimtree.ModeSharded
+}
+
+// EmitsMatches reports true: the frontend always materializes matches.
+func (fe *Frontend) EmitsMatches() bool { return true }
+
+// Matches returns the pull-side match iterator (the serving layer arms it
+// once and is its only consumer).
+func (fe *Frontend) Matches() iter.Seq[pimtree.Match] {
+	fe.pull.arm()
+	return func(yield func(pimtree.Match) bool) {
+		for {
+			m, ok := fe.pull.next()
+			if !ok {
+				return
+			}
+			if !yield(m) {
+				fe.pull.disarm()
+				return
+			}
+		}
+	}
+}
+
+// PushBatch routes a batch of arrivals across the cluster. Single producer
+// goroutine, like the Engine API.
+func (fe *Frontend) PushBatch(batch []pimtree.Arrival) error {
+	if err := fe.errLoad(); err != nil {
+		return err
+	}
+	fe.prodMu.Lock()
+	defer fe.prodMu.Unlock()
+	if fe.closed {
+		return pimtree.ErrClosed
+	}
+	if fe.cfg.Timed {
+		if fe.cfg.LatePolicy == pimtree.LateNone {
+			last := fe.lastTS
+			for _, a := range batch {
+				if a.TS < last {
+					return fmt.Errorf("cluster: %w; set a LatePolicy (and Slack) to enable out-of-order ingestion", pimtree.ErrUnordered)
+				}
+				last = a.TS
+			}
+			fe.lastTS = last
+		}
+		for _, a := range batch {
+			fe.reorder.Push(ooo.Tuple{Stream: uint8(a.Stream), Key: a.Key, TS: a.TS}, fe.routeTimed)
+		}
+	} else {
+		for _, a := range batch {
+			fe.route(uint8(a.Stream), a.Key)
+		}
+	}
+	fe.flushAll()
+	fe.propagate()
+	return fe.errLoad()
+}
+
+// Drain flushes the cluster to a deterministic quiescent point: the reorder
+// buffer (timed mode), every pending op batch, and the in-flight ring. On
+// return every routed arrival's matches have been propagated.
+func (fe *Frontend) Drain(ctx context.Context) error {
+	fe.prodMu.Lock()
+	defer fe.prodMu.Unlock()
+	if fe.closed {
+		return pimtree.ErrClosed
+	}
+	if fe.reorder != nil {
+		fe.reorder.Flush(fe.routeTimed)
+	}
+	fe.flushAll()
+	if err := fe.waitQuiesce(ctx); err != nil {
+		return fmt.Errorf("cluster: drain abandoned: %w", err)
+	}
+	return fe.errLoad()
+}
+
+// Close drains, tears the member sessions down, and returns the run's final
+// statistics. The member sessions ending is what releases the nodes'
+// window contents.
+func (fe *Frontend) Close(ctx context.Context) (pimtree.RunStats, error) {
+	fe.prodMu.Lock()
+	defer fe.prodMu.Unlock()
+	if fe.closed {
+		return pimtree.RunStats{}, pimtree.ErrClosed
+	}
+	fe.closed = true
+	if fe.reorder != nil {
+		fe.reorder.Flush(fe.routeTimed)
+	}
+	fe.flushAll()
+	werr := fe.waitQuiesce(ctx)
+	close(fe.pingStop)
+	<-fe.pingDone
+	fe.setMu.RLock()
+	nodes := append([]*node(nil), fe.nodes...)
+	fe.setMu.RUnlock()
+	for _, nd := range nodes {
+		nd.leaving.Store(true)
+		nd.mc.Close()
+	}
+	for _, nd := range nodes {
+		<-nd.readerDone
+	}
+	fe.pull.close()
+	st := pimtree.RunStats{
+		Tuples:  int(fe.routed.Load()),
+		Matches: fe.matchesA.Load(),
+		Elapsed: time.Since(fe.start),
+	}
+	st.Mtps = metrics.Mtps(st.Tuples, st.Elapsed)
+	if fe.reorder != nil {
+		st.LateDropped = fe.reorder.LateDropped()
+		st.MaxObservedDisorder = fe.reorder.MaxDisorder()
+	}
+	st.Imbalance = fe.imbalance()
+	if werr != nil {
+		return st, fmt.Errorf("cluster: close abandoned: %w", werr)
+	}
+	return st, nil
+}
+
+// Stats returns a live cluster snapshot. Safe from any goroutine.
+func (fe *Frontend) Stats() pimtree.RunStats {
+	st := pimtree.RunStats{
+		Tuples:  int(fe.routed.Load()),
+		Matches: fe.matchesA.Load(),
+		Elapsed: time.Since(fe.start),
+	}
+	st.Mtps = metrics.Mtps(st.Tuples, st.Elapsed)
+	if fe.reorder != nil {
+		st.LateDropped = fe.reorder.LateDropped()
+		st.MaxObservedDisorder = fe.reorder.MaxDisorder()
+	}
+	st.Imbalance = fe.imbalance()
+	return st
+}
+
+// imbalance is the max/mean ratio over per-node resident window sizes.
+func (fe *Frontend) imbalance() float64 {
+	fe.setMu.RLock()
+	defer fe.setMu.RUnlock()
+	resident := make([]uint64, len(fe.nodes))
+	for i, nd := range fe.nodes {
+		resident[i] = nd.snapshotStatus().Resident
+	}
+	return metrics.Imbalance(resident)
+}
+
+// ShardLoads reports one load entry per node: ops routed to it, the
+// outstanding-probe queue depth with its high-water mark, and the node's
+// last-reported resident window size. Safe from any goroutine.
+func (fe *Frontend) ShardLoads() []pimtree.ShardLoad {
+	fe.setMu.RLock()
+	defer fe.setMu.RUnlock()
+	out := make([]pimtree.ShardLoad, len(fe.nodes))
+	for i, nd := range fe.nodes {
+		depth, hw := nd.outstandingLen()
+		out[i] = pimtree.ShardLoad{
+			Inserts:    nd.inserts.Load(),
+			Probes:     nd.probes.Load(),
+			QueueDepth: depth,
+			QueueHW:    hw,
+			Resident:   int(nd.snapshotStatus().Resident),
+		}
+	}
+	return out
+}
+
+// Reconfigure is not supported cluster-wide: the member sessions' engine
+// shape is fixed by the join handshake. Membership changes go through
+// AddNode/RemoveNode (the /cluster admin endpoints) instead.
+func (fe *Frontend) Reconfigure(pimtree.Delta) error {
+	return fmt.Errorf("pimtree: cluster router %w (use the /cluster membership endpoints)", pimtree.ErrNotTunable)
+}
+
+// Tuning reports the cluster's live-tunable surface: the node count plays
+// the shard-count role, and membership epochs play the reshape role.
+func (fe *Frontend) Tuning() pimtree.Tuning {
+	fe.setMu.RLock()
+	nodes := len(fe.nodes)
+	fe.setMu.RUnlock()
+	return pimtree.Tuning{
+		Mode:          fe.Mode(),
+		Shards:        nodes,
+		BatchSize:     fe.cfg.BatchSize,
+		QueueCapacity: fe.capN,
+		Reshapes:      int(fe.epoch.Load()),
+	}
+}
+
+// GlobalFrontier aggregates the per-node watermarks into the cluster's
+// global eviction frontier: the minimum watermark any live node has applied
+// (a global sequence for count windows, a minimum live event time for timed
+// ones). reported is false until every live node has heartbeat at least
+// once. Safe from any goroutine.
+func (fe *Frontend) GlobalFrontier() (frontier uint64, reported bool) {
+	fe.setMu.RLock()
+	defer fe.setMu.RUnlock()
+	first := true
+	for _, nd := range fe.nodes {
+		if !nd.alive.Load() {
+			continue
+		}
+		st, at := nd.snapshotStatusAt()
+		if at.IsZero() {
+			return 0, false
+		}
+		if first || st.EvictWM < frontier {
+			frontier = st.EvictWM
+		}
+		first = false
+	}
+	return frontier, !first
+}
+
+// matchQueue is the unbounded FIFO behind the pull side — the same
+// armed/disarmed contract as the Engine's (see pimtree.Engine.Matches).
+type matchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	armed  atomic.Bool
+	buf    []pimtree.Match
+	head   int
+	closed bool
+}
+
+func newMatchQueue() *matchQueue {
+	q := &matchQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *matchQueue) arm() {
+	if q.armed.Swap(true) {
+		return
+	}
+	q.mu.Lock()
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.mu.Unlock()
+}
+
+func (q *matchQueue) disarm() {
+	q.armed.Store(false)
+	q.mu.Lock()
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.mu.Unlock()
+}
+
+func (q *matchQueue) push(m pimtree.Match) {
+	if !q.armed.Load() {
+		return
+	}
+	q.mu.Lock()
+	q.buf = append(q.buf, m)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *matchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *matchQueue) next() (pimtree.Match, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.buf) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head < len(q.buf) {
+		m := q.buf[q.head]
+		q.head++
+		switch {
+		case q.head == len(q.buf):
+			q.buf = q.buf[:0]
+			q.head = 0
+		case q.head >= 1024 && q.head*2 >= len(q.buf):
+			n := copy(q.buf, q.buf[q.head:])
+			q.buf = q.buf[:n]
+			q.head = 0
+		}
+		return m, true
+	}
+	return pimtree.Match{}, false
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -21,6 +22,16 @@ type DialOptions struct {
 	Timed bool
 	// Timeout bounds the dial and the handshake round-trip (default 10s).
 	Timeout time.Duration
+	// ReadTimeout, when positive, bounds each ReadEvent call: a frame that
+	// does not arrive in time surfaces as a net timeout error. A timeout may
+	// strike mid-frame, so the connection must be treated as broken after
+	// one — reconnect rather than retry the read. Zero (the default) blocks
+	// indefinitely, preserving the pre-timeout behavior for subscribers
+	// that legitimately idle between matches.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each outbound frame write
+	// (PushBatch, Drain). Zero blocks on TCP backpressure indefinitely.
+	WriteTimeout time.Duration
 	// MaxFrame bounds accepted inbound payloads and the client's own
 	// outbound frame splitting (default DefaultMaxFrame). The protocol does
 	// not negotiate it: set it no higher than the server's configured bound
@@ -52,23 +63,40 @@ type Client struct {
 	wmu  sync.Mutex
 	wbuf []byte
 
-	timed    bool
-	maxFrame int
+	timed        bool
+	maxFrame     int
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 // Dial connects, performs the Hello handshake, and returns the client.
+// Equivalent to DialContext with the background context: the dial and the
+// handshake are still bounded by o.Timeout, never indefinite.
 func Dial(addr string, o DialOptions) (*Client, error) {
+	return DialContext(context.Background(), addr, o)
+}
+
+// DialContext is Dial with cancellation: a ctx that expires or is canceled
+// aborts the dial and the handshake (whichever is in flight) and surfaces
+// the transport error. The ctx only governs connection establishment — it
+// does not bound the returned client's lifetime (use ReadTimeout /
+// WriteTimeout for per-call bounds).
+func DialContext(ctx context.Context, addr string, o DialOptions) (*Client, error) {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
 	}
-	nc, err := net.DialTimeout("tcp", addr, o.Timeout)
+	d := net.Dialer{Timeout: o.Timeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, br: bufio.NewReaderSize(nc, 1<<16), timed: o.Timed, maxFrame: o.MaxFrame}
+	c := &Client{
+		nc: nc, br: bufio.NewReaderSize(nc, 1<<16), timed: o.Timed,
+		maxFrame: o.MaxFrame, readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout,
+	}
 	var flags byte
 	if o.Subscribe {
 		flags |= FlagSubscribe
@@ -76,28 +104,42 @@ func Dial(addr string, o DialOptions) (*Client, error) {
 	if o.Timed {
 		flags |= FlagTimed
 	}
+	// The handshake round-trip honors both the timeout and the ctx: a
+	// cancellation mid-handshake forces the pending read/write to fail by
+	// yanking the deadline into the past.
 	nc.SetDeadline(time.Now().Add(o.Timeout))
-	if err := writeFrame(nc, FrameHello, encodeHello(ProtocolVersion, flags)); err != nil {
+	stop := context.AfterFunc(ctx, func() { nc.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	fail := func(err error) (*Client, error) {
 		nc.Close()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("server handshake: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("server handshake: %w", err)
+	}
+	if err := writeFrame(nc, FrameHello, encodeHello(ProtocolVersion, flags)); err != nil {
+		return fail(err)
 	}
 	typ, payload, err := readFrame(c.br, c.maxFrame)
 	if err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("server handshake: %w", err)
+		return fail(err)
 	}
 	switch typ {
 	case FrameHello:
 		if _, _, err := decodeHello(payload); err != nil {
-			nc.Close()
-			return nil, fmt.Errorf("server handshake: %w", err)
+			return fail(err)
 		}
 	case FrameError:
 		nc.Close()
 		return nil, fmt.Errorf("server rejected connection: %s", payload)
 	default:
+		return fail(fmt.Errorf("unexpected %s frame", frameName(typ)))
+	}
+	if !stop() {
+		// The cancellation fired between the successful read and here; the
+		// deadline may already be poisoned. Treat as canceled.
 		nc.Close()
-		return nil, fmt.Errorf("server handshake: unexpected %s frame", frameName(typ))
+		return nil, fmt.Errorf("server handshake: %w", ctx.Err())
 	}
 	nc.SetDeadline(time.Time{})
 	return c, nil
@@ -120,6 +162,7 @@ func (c *Client) PushBatch(batch []pimtree.Arrival) error {
 	perFrame := max(c.maxFrame/rec, 1)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	c.armWrite()
 	for lo := 0; lo < len(batch); lo += perFrame {
 		hi := min(lo+perFrame, len(batch))
 		buf := c.wbuf[:0]
@@ -140,13 +183,29 @@ func (c *Client) PushBatch(batch []pimtree.Arrival) error {
 func (c *Client) Drain() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	c.armWrite()
 	return writeFrame(c.nc, FrameDrain, nil)
+}
+
+// armWrite applies the per-call write deadline (w-lock held).
+func (c *Client) armWrite() {
+	if c.writeTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+}
+
+// armRead applies the per-call read deadline.
+func (c *Client) armRead() {
+	if c.readTimeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
 }
 
 // ReadEvent reads the next server-to-client frame: a match batch, a drain
 // acknowledgement, or a server error. io.EOF means the server closed the
 // stream (e.g. after a graceful shutdown flushed the remaining matches).
 func (c *Client) ReadEvent() (Event, error) {
+	c.armRead()
 	typ, payload, err := readFrame(c.br, c.maxFrame)
 	if err != nil {
 		return Event{}, err

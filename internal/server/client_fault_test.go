@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"pimtree"
+)
+
+// scriptedServer accepts one connection, answers the Hello handshake, writes
+// the scripted bytes verbatim, and ends the connection — with a TCP reset
+// (linger 0) when reset is set, a clean FIN otherwise. It returns the
+// listener address.
+func scriptedServer(t *testing.T, script []byte, reset bool) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		br := bufio.NewReader(conn)
+		typ, payload, err := readFrame(br, DefaultMaxFrame)
+		if err != nil || typ != FrameHello {
+			conn.Close()
+			return
+		}
+		version, flags, err := decodeHello(payload)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		writeFrame(conn, FrameHello, encodeHello(version, flags))
+		conn.Write(script)
+		if reset {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
+		conn.Close()
+	}()
+	return ln.Addr().String()
+}
+
+// header builds a bare frame header announcing a payload of n bytes.
+func header(typ byte, n uint32) []byte {
+	h := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(h[:4], n)
+	h[4] = typ
+	return h
+}
+
+// TestClientPartialFrameAndReset pins the client's failure behavior under
+// injected connection faults: whatever point the stream dies at — before a
+// frame, mid-header, mid-payload, via clean FIN or TCP reset, or on a
+// malformed frame — ReadEvent must surface an error promptly (never hang,
+// never fabricate an event), and a fresh Dial to a healthy server must
+// recover full service.
+func TestClientPartialFrameAndReset(t *testing.T) {
+	srv := startServer(t, countCfg(pimtree.ModeSharded), Options{})
+	arr := countArrivals(500, 77)
+
+	validMatch := rawFrame(FrameMatch, appendMatch(nil, pimtree.Match{ProbeStream: pimtree.R, ProbeSeq: 1, MatchSeq: 0}))
+	cases := []struct {
+		name   string
+		script []byte
+		reset  bool
+	}{
+		{"reset-before-frame", nil, true},
+		{"fin-before-frame-is-eof", nil, false},
+		{"fin-mid-header", header(FrameMatch, recMatch)[:3], false},
+		{"reset-mid-header", header(FrameMatch, recMatch)[:3], true},
+		{"fin-mid-payload", append(header(FrameMatch, recMatch), make([]byte, recMatch-5)...), false},
+		{"reset-mid-payload", append(header(FrameMatch, recMatch), make([]byte, recMatch-5)...), true},
+		{"valid-frame-then-reset-mid-payload", append(append(append([]byte(nil), validMatch...),
+			header(FrameMatch, recMatch)...), make([]byte, 3)...), true},
+		{"oversized-length-prefix", header(FrameMatch, 1<<30), false},
+		{"ragged-match-payload", rawFrame(FrameMatch, make([]byte, recMatch+1)), false},
+		{"unexpected-frame-type", rawFrame(FramePing, nil), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := scriptedServer(t, tc.script, tc.reset)
+			c, err := Dial(addr, DialOptions{Subscribe: true, Timeout: 5 * time.Second, ReadTimeout: 5 * time.Second})
+			if err != nil {
+				t.Fatalf("handshake against scripted server: %v", err)
+			}
+			defer c.Close()
+			// Consume any valid frames the script front-loads; the fault must
+			// then surface as an error, not a hang or a phantom event.
+			for range 4 {
+				if _, err = c.ReadEvent(); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				t.Fatal("ReadEvent produced events past the injected fault without an error")
+			}
+
+			// Reconnect leg: a fresh dial to a healthy server restores full
+			// service — the failed connection poisons nothing shared.
+			rc, err := Dial(srv.Addr().String(), DialOptions{Subscribe: true, Timeout: 5 * time.Second})
+			if err != nil {
+				t.Fatalf("reconnect: %v", err)
+			}
+			defer rc.Close()
+			if err := rc.PushBatch(arr); err != nil {
+				t.Fatalf("reconnect push: %v", err)
+			}
+			ms, err := rc.DrainWait()
+			if err != nil {
+				t.Fatalf("reconnect drain: %v", err)
+			}
+			if len(ms) == 0 {
+				t.Fatal("reconnect drain returned no matches")
+			}
+		})
+	}
+}

@@ -213,8 +213,14 @@ func (c *conn) handshake(br *bufio.Reader) bool {
 		}
 		return false
 	}
+	if typ == FrameJoinCluster {
+		// A cluster router, not a client: the connection becomes a member
+		// session for its remaining lifetime (see member.go).
+		c.memberSession(br, payload)
+		return false
+	}
 	if typ != FrameHello {
-		c.abort(fmt.Sprintf("first frame must be hello, got %s", frameName(typ)))
+		c.abort(fmt.Sprintf("first frame must be hello or join-cluster, got %s", frameName(typ)))
 		return false
 	}
 	version, flags, err := decodeHello(payload)
@@ -311,6 +317,9 @@ func (c *conn) writer() {
 // written with a single Write: writeFrame's stack header escapes through
 // the io.Writer interface, which would put one allocation on every frame.
 func (c *conn) writeItem(bw *bufio.Writer, it outItem, scratch *[]byte, coalesce int) error {
+	if it.typ == FrameResults {
+		return c.writeResults(bw, it, scratch, coalesce)
+	}
 	if it.typ != FrameMatch {
 		return writeFrame(bw, it.typ, it.payload)
 	}
@@ -342,6 +351,45 @@ func (c *conn) writeItem(bw *bufio.Writer, it outItem, scratch *[]byte, coalesce
 	}
 	if hasTail {
 		return writeFrame(bw, tail.typ, tail.payload)
+	}
+	return nil
+}
+
+// writeResults writes one results item, folding queued result groups into
+// the same frame (the member-session analogue of match coalescing — the
+// groups are self-delimiting, so concatenated payloads remain one valid
+// results payload). A non-result item that interrupts the run is written
+// right after, preserving queue order.
+func (c *conn) writeResults(bw *bufio.Writer, it outItem, scratch *[]byte, coalesce int) error {
+	bound := min(c.srv.opts.MaxFrame, 64<<10)
+	buf := (*scratch)[:0]
+	buf = append(buf, 0, 0, 0, 0, FrameResults) // length patched below
+	buf = append(buf, it.payload...)
+	var tail outItem
+	hasTail := false
+	for len(buf)-headerLen < bound {
+		select {
+		case nx := <-c.out:
+			if nx.typ == FrameResults && len(buf)-headerLen+len(nx.payload) <= c.srv.opts.MaxFrame {
+				buf = append(buf, nx.payload...)
+				continue
+			}
+			tail = nx
+			hasTail = true
+		default:
+		}
+		break
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-headerLen))
+	*scratch = buf
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if hasTail {
+		// buf is already on the bufio buffer, so the scratch reuse inside a
+		// recursive match/results write is safe. Depth is bounded: the tail
+		// write pulls its own tail at most once more per queued run.
+		return c.writeItem(bw, tail, scratch, coalesce)
 	}
 	return nil
 }

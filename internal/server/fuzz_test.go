@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pimtree"
+	"pimtree/internal/shard"
 )
 
 // FuzzParseFrame feeds arbitrary byte streams through the frame reader and
@@ -45,6 +46,35 @@ func FuzzParseFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0})                         // truncated header
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x02}) // hostile length prefix
+
+	// Cluster-tier frames (0x10–0x1a): a well-formed seed per type, plus
+	// truncated/ragged variants of the structured payloads.
+	f.Add(rawFrame(FrameJoinCluster, encodeJoinCluster(ProtocolVersion, ClusterConfig{
+		Timed: true, Backend: pimtree.PIMTree, Shards: 4, MaxLive: 512, Span: 1024, Batch: 64, Ring: 1 << 12,
+	})))
+	f.Add(rawFrame(FrameJoinCluster, encodeJoinCluster(ProtocolVersion, ClusterConfig{
+		Self: true, Backend: pimtree.BwTree, WR: 256, WS: 256,
+	})))
+	f.Add(rawFrame(FrameJoinCluster, []byte{1, 0xff, 0}))               // unknown flags, short
+	f.Add(rawFrame(FrameClusterReady, encodeClusterReady(1, "node-a"))) // well-formed ready
+	f.Add(rawFrame(FrameClusterReady, []byte{1, 200, 'x'}))             // id length lies
+	f.Add(rawFrame(FrameOps, appendOp(appendOp(nil,
+		shard.Op{Insert: true, Stream: uint8(pimtree.R), Key: 7, Seq: 40, TE: 8, TS: 99}),
+		shard.Op{Stream: uint8(pimtree.S), Lo: 5, Hi: 9, TE: 2, TL: 41, Idx: 81})))
+	f.Add(rawFrame(FrameOps, []byte{2}))        // invalid kind, ragged
+	f.Add(rawFrame(FrameOps, make([]byte, 35))) // ragged record boundary
+	f.Add(rawFrame(FrameResults, appendResult(appendResult(nil, 81, [][]uint64{{1, 2}, nil, {3}}), 82, nil)))
+	f.Add(rawFrame(FrameResults, []byte{0, 0, 0, 0, 0, 0, 0, 9, 0xff, 0xff, 0xff, 0xff})) // hostile seq count
+	f.Add(rawFrame(FrameNodeStatus, encodeNodeStatus(NodeStatus{Applied: 7, EvictWM: 3, Resident: 11})))
+	f.Add(rawFrame(FramePing, nil))
+	f.Add(rawFrame(FrameExport, encodeExport(100, 2000)))
+	f.Add(rawFrame(FrameWindow, appendWindowTuple(appendWindowTuple(nil,
+		shard.WindowTuple{Stream: uint8(pimtree.R), Key: 9, Seq: 4, TS: 17}),
+		shard.WindowTuple{Stream: uint8(pimtree.S), Key: 2, Seq: 6, TS: 18})))
+	f.Add(rawFrame(FrameWindow, []byte{9})) // invalid stream, ragged
+	f.Add(rawFrame(FrameExportDone, encodeCount(2)))
+	f.Add(rawFrame(FrameImportDone, encodeCount(2)))
+	f.Add(rawFrame(FrameImported, encodeCount(2)))
 
 	const maxFrame = 4096
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -100,6 +130,64 @@ func FuzzParseFrame(f *testing.F) {
 				}
 				if !bytes.Equal(got, payload) {
 					t.Fatalf("match round-trip: %x != %x", got, payload)
+				}
+			case FrameJoinCluster:
+				if version, cc, err := decodeJoinCluster(payload); err == nil {
+					if got := encodeJoinCluster(version, cc); !bytes.Equal(got, payload) {
+						t.Fatalf("join-cluster round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameClusterReady:
+				if version, id, err := decodeClusterReady(payload); err == nil {
+					if got := encodeClusterReady(version, id); !bytes.Equal(got, payload) {
+						t.Fatalf("cluster-ready round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameOps:
+				if ops, err := decodeOpsInto(nil, payload); err == nil {
+					got := make([]byte, 0, len(payload))
+					for _, o := range ops {
+						got = appendOp(got, o)
+					}
+					if !bytes.Equal(got, payload) {
+						t.Fatalf("ops round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameResults:
+				got := make([]byte, 0, len(payload))
+				if err := decodeResults(payload, func(idx uint64, seqs []uint64) error {
+					got = appendResult(got, idx, [][]uint64{seqs})
+					return nil
+				}); err == nil && !bytes.Equal(got, payload) {
+					t.Fatalf("results round-trip: %x != %x", got, payload)
+				}
+			case FrameWindow:
+				if ws, err := decodeWindowTuples(nil, payload); err == nil {
+					got := make([]byte, 0, len(payload))
+					for _, wt := range ws {
+						got = appendWindowTuple(got, wt)
+					}
+					if !bytes.Equal(got, payload) {
+						t.Fatalf("window round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameNodeStatus:
+				if st, err := decodeNodeStatus(payload); err == nil {
+					if got := encodeNodeStatus(st); !bytes.Equal(got, payload) {
+						t.Fatalf("node-status round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameExport:
+				if lo, hi, err := decodeExport(payload); err == nil {
+					if got := encodeExport(lo, hi); !bytes.Equal(got, payload) {
+						t.Fatalf("export round-trip: %x != %x", got, payload)
+					}
+				}
+			case FrameExportDone, FrameImportDone, FrameImported:
+				if n, err := decodeCount(payload); err == nil {
+					if got := encodeCount(n); !bytes.Equal(got, payload) {
+						t.Fatalf("count round-trip: %x != %x", got, payload)
+					}
 				}
 			}
 		}

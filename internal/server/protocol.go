@@ -63,6 +63,55 @@ const (
 	FrameError = byte(0x06)
 )
 
+// Cluster control frames (0x10–0x1a) carry the router↔node leg of the
+// distributed tier (internal/cluster): a cluster router opens a member
+// session on a serve node with FrameJoinCluster instead of FrameHello, ships
+// pre-sequenced ops, and receives correlated probe results plus status
+// heartbeats. Membership-change window handoffs ride the same connection as
+// an export/import exchange. These frames are additive — a v1 client/server
+// pair that never speaks them is unaffected — and are specified normatively
+// in docs/OPERATIONS.md alongside the client-visible frames.
+const (
+	// FrameJoinCluster opens a member session (router→node, first frame).
+	// Payload: the 35-byte cluster join config (encodeJoinCluster). The
+	// whole engine shape travels in the frame so every member applies ops
+	// under identical parameters regardless of node-local flags.
+	FrameJoinCluster = byte(0x10)
+	// FrameClusterReady acknowledges a join (node→router). Payload:
+	// [version u8][node id length u8][node id UTF-8].
+	FrameClusterReady = byte(0x11)
+	// FrameOps ships a batch of pre-sequenced ops (router→node): a sequence
+	// of 34-byte records (appendOp).
+	FrameOps = byte(0x12)
+	// FrameResults returns completed probe results (node→router): a
+	// sequence of variable-length groups [idx u64][n u32][n × match seq
+	// u64], in the member's admission order.
+	FrameResults = byte(0x13)
+	// FrameNodeStatus is the member heartbeat (node→router), sent in
+	// response to FramePing: [ops applied u64][evict watermark u64]
+	// [resident u64].
+	FrameNodeStatus = byte(0x14)
+	// FramePing requests a FrameNodeStatus (router→node, empty payload).
+	FramePing = byte(0x15)
+	// FrameExport asks the member to extract-and-remove its live window
+	// tuples in an inclusive key range (router→node): [lo u32][hi u32].
+	// The member answers with FrameWindow batches then FrameExportDone.
+	FrameExport = byte(0x16)
+	// FrameWindow carries live window tuples during a handoff (both
+	// directions): a sequence of 21-byte records [stream u8][key u32]
+	// [seq u64][ts u64].
+	FrameWindow = byte(0x17)
+	// FrameExportDone ends an export (node→router): [tuple count u64].
+	FrameExportDone = byte(0x18)
+	// FrameImportDone ends an import (router→node, after FrameWindow
+	// batches): [tuple count u64]. The member adopts the tuples and answers
+	// FrameImported.
+	FrameImportDone = byte(0x19)
+	// FrameImported acknowledges an applied import (node→router):
+	// [tuple count u64].
+	FrameImported = byte(0x1a)
+)
+
 // Hello flags.
 const (
 	// FlagSubscribe requests match egress: every match the engine propagates
@@ -104,6 +153,28 @@ func frameName(typ byte) string {
 		return "drained"
 	case FrameError:
 		return "error"
+	case FrameJoinCluster:
+		return "join-cluster"
+	case FrameClusterReady:
+		return "cluster-ready"
+	case FrameOps:
+		return "ops"
+	case FrameResults:
+		return "results"
+	case FrameNodeStatus:
+		return "node-status"
+	case FramePing:
+		return "ping"
+	case FrameExport:
+		return "export"
+	case FrameWindow:
+		return "window"
+	case FrameExportDone:
+		return "export-done"
+	case FrameImportDone:
+		return "import-done"
+	case FrameImported:
+		return "imported"
 	default:
 		return fmt.Sprintf("0x%02x", typ)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"net"
 	"net/http"
 	"strconv"
@@ -66,6 +67,22 @@ type Options struct {
 	// batches). Together with the engine's QueueCapacity this is what turns
 	// engine backpressure into TCP backpressure.
 	IngestQueue int
+	// NodeID identifies this node in /stats, /healthz, and the
+	// pimtree_node_info metric family, so multi-node scrapes are
+	// distinguishable. Defaults to the protocol listener's address. Also
+	// echoed to cluster routers in the member-session handshake.
+	NodeID string
+	// Role labels the node's function ("serve", "route", ...) alongside
+	// NodeID. Defaults to "serve".
+	Role string
+	// AdminMux, when set, may register extra admin handlers on the mux
+	// before the server starts (the built-in /stats, /metrics, /healthz,
+	// /tuning routes are registered first). Used by the cluster router to
+	// expose its membership endpoints.
+	AdminMux func(mux *http.ServeMux)
+	// ExtraProm, when set, contributes additional metric families to the
+	// /metrics exposition (appended after the built-in families).
+	ExtraProm func() []metrics.PromFamily
 	// Logf, when set, receives server lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -80,6 +97,9 @@ func (o Options) withDefaults() Options {
 	if o.IngestQueue <= 0 {
 		o.IngestQueue = 64
 	}
+	if o.Role == "" {
+		o.Role = "serve"
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -91,8 +111,10 @@ func (o Options) withDefaults() Options {
 type ServeStats struct {
 	Connections      int    // currently open protocol connections
 	Subscribers      int    // connections subscribed to match egress
+	Members          int    // currently open cluster member sessions
 	IngestFrames     uint64 // ingest frames accepted
 	IngestTuples     uint64 // tuples pushed into the engine
+	MemberOpFrames   uint64 // cluster ops frames applied by member sessions
 	MatchesDelivered uint64 // matches handed to subscriber queues
 	MatchesDropped   uint64 // matches dropped by the DropNewest policy
 	ProtocolErrors   uint64 // connections failed for protocol violations
@@ -120,13 +142,36 @@ type ingestReq struct {
 	drain bool
 }
 
+// Engine is what the server serves: the subset of *pimtree.Engine the wire
+// and admin planes touch. *pimtree.Engine implements it directly; the
+// cluster router's frontend (internal/cluster) implements it over N remote
+// nodes, which is how `pimjoin route` reuses this entire serving layer —
+// connections, producer serialization, match fan-out, drain ordering, admin
+// endpoints — unchanged.
+type Engine interface {
+	Mode() pimtree.Mode
+	EmitsMatches() bool
+	// Matches returns the pull-side match iterator. The server arms it once
+	// at New and is its only consumer.
+	Matches() iter.Seq[pimtree.Match]
+	Stats() pimtree.RunStats
+	// PushBatch is called from a single producer goroutine, as the Engine
+	// API requires.
+	PushBatch([]pimtree.Arrival) error
+	Drain(context.Context) error
+	Close(context.Context) (pimtree.RunStats, error)
+	ShardLoads() []pimtree.ShardLoad
+	Reconfigure(pimtree.Delta) error
+	Tuning() pimtree.Tuning
+}
+
 // Server wraps one long-lived Engine behind the wire protocol. All pushes
 // from all connections are serialized through a single producer goroutine
 // (the Engine's contract), and one fan-out goroutine consumes the engine's
 // pull-side match iterator into per-subscriber bounded queues.
 type Server struct {
 	opts   Options
-	eng    *pimtree.Engine
+	eng    Engine
 	timed  bool
 	fanout bool // engine materializes matches (subscriptions possible)
 
@@ -161,6 +206,8 @@ type Server struct {
 
 	ingestFrames     atomic.Uint64
 	ingestTuples     atomic.Uint64
+	members          atomic.Int64
+	memberOpFrames   atomic.Uint64
 	matchesDelivered atomic.Uint64
 	matchesDropped   atomic.Uint64
 	protoErrs        atomic.Uint64
@@ -181,7 +228,7 @@ type Server struct {
 // the protocol listener (and the admin listener when configured), and
 // starts the accept, producer, and fan-out loops. The server owns the
 // engine from here on: Shutdown closes it and returns its final RunStats.
-func New(e *pimtree.Engine, opts Options) (*Server, error) {
+func New(e Engine, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.Addr == "" {
 		return nil, errors.New("server: Options.Addr is required")
@@ -217,6 +264,9 @@ func New(e *pimtree.Engine, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: listen %s: %w", opts.Addr, err)
 	}
 	s.ln = ln
+	if s.opts.NodeID == "" {
+		s.opts.NodeID = ln.Addr().String()
+	}
 	if opts.AdminAddr != "" {
 		adminLn, err := net.Listen("tcp", opts.AdminAddr)
 		if err != nil {
@@ -229,6 +279,9 @@ func New(e *pimtree.Engine, opts Options) (*Server, error) {
 		mux.HandleFunc("/stats", s.handleStats)
 		mux.HandleFunc("/metrics", s.handleMetrics)
 		mux.HandleFunc("/tuning", s.handleTuning)
+		if opts.AdminMux != nil {
+			opts.AdminMux(mux)
+		}
 		s.admin = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := s.admin.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -261,7 +314,10 @@ func (s *Server) AdminAddr() net.Addr {
 }
 
 // Engine returns the wrapped engine (live Stats/ShardLoads scraping).
-func (s *Server) Engine() *pimtree.Engine { return s.eng }
+func (s *Server) Engine() Engine { return s.eng }
+
+// NodeID returns the node identity served in /stats and /healthz.
+func (s *Server) NodeID() string { return s.opts.NodeID }
 
 // Stats returns a snapshot of the server-side counters.
 func (s *Server) Stats() ServeStats {
@@ -275,8 +331,10 @@ func (s *Server) Stats() ServeStats {
 	return ServeStats{
 		Connections:      conns,
 		Subscribers:      subs,
+		Members:          int(s.members.Load()),
 		IngestFrames:     s.ingestFrames.Load(),
 		IngestTuples:     s.ingestTuples.Load(),
+		MemberOpFrames:   s.memberOpFrames.Load(),
 		MatchesDelivered: s.matchesDelivered.Load(),
 		MatchesDropped:   s.matchesDropped.Load(),
 		ProtocolErrors:   s.protoErrs.Load(),
@@ -615,11 +673,11 @@ func waitCtx(ctx context.Context, ch <-chan struct{}) error {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		http.Error(w, fmt.Sprintf("draining node=%s role=%s", s.opts.NodeID, s.opts.Role), http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "ok node=%s role=%s\n", s.opts.NodeID, s.opts.Role)
 }
 
 // shardJSON mirrors pimtree.ShardLoad with stable JSON names.
@@ -639,6 +697,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		shards = append(shards, shardJSON{Inserts: l.Inserts, Probes: l.Probes, QueueDepth: l.QueueDepth, QueueDepthHW: l.QueueHW, Resident: l.Resident})
 	}
 	payload := struct {
+		Node struct {
+			ID   string `json:"id"`
+			Role string `json:"role"`
+		} `json:"node"`
 		Mode                string      `json:"mode"`
 		Tuples              int         `json:"tuples"`
 		Matches             uint64      `json:"matches"`
@@ -659,8 +721,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Server              struct {
 			Connections      int    `json:"connections"`
 			Subscribers      int    `json:"subscribers"`
+			Members          int    `json:"members"`
 			IngestFrames     uint64 `json:"ingest_frames"`
 			IngestTuples     uint64 `json:"ingest_tuples"`
+			MemberOpFrames   uint64 `json:"member_op_frames"`
 			MatchesDelivered uint64 `json:"matches_delivered"`
 			MatchesDropped   uint64 `json:"matches_dropped"`
 			ProtocolErrors   uint64 `json:"protocol_errors"`
@@ -685,10 +749,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		GCPauseSeconds:      st.GCPauseTotal.Seconds(),
 		Shards:              shards,
 	}
+	payload.Node.ID = s.opts.NodeID
+	payload.Node.Role = s.opts.Role
 	payload.Server.Connections = sv.Connections
 	payload.Server.Subscribers = sv.Subscribers
+	payload.Server.Members = sv.Members
 	payload.Server.IngestFrames = sv.IngestFrames
 	payload.Server.IngestTuples = sv.IngestTuples
+	payload.Server.MemberOpFrames = sv.MemberOpFrames
 	payload.Server.MatchesDelivered = sv.MatchesDelivered
 	payload.Server.MatchesDropped = sv.MatchesDropped
 	payload.Server.ProtocolErrors = sv.ProtocolErrors
@@ -811,7 +879,13 @@ func (s *Server) promFamilies() []metrics.PromFamily {
 		}
 		return 0
 	}
+	info := metrics.PromFamily{Name: "pimtree_node_info", Help: "Node identity; the value is always 1, the identity lives in the labels.", Type: "gauge"}
+	info.Samples = append(info.Samples, metrics.PromSample{
+		Labels: [][2]string{{"node", s.opts.NodeID}, {"role", s.opts.Role}},
+		Value:  1,
+	})
 	fams := []metrics.PromFamily{
+		info,
 		metrics.Counter("pimtree_engine_tuples_total", "Tuples admitted by the engine runtime.", float64(st.Tuples)),
 		metrics.Counter("pimtree_engine_matches_total", "Matches propagated in arrival order.", float64(st.Matches)),
 		metrics.Gauge("pimtree_engine_uptime_seconds", "Wall time since the engine session opened.", st.Elapsed.Seconds()),
@@ -864,6 +938,11 @@ func (s *Server) promFamilies() []metrics.PromFamily {
 		metrics.Counter("pimtree_server_matches_dropped_total", "Matches dropped by the DropNewest slow-subscriber policy.", float64(sv.MatchesDropped)),
 		metrics.Counter("pimtree_server_protocol_errors_total", "Connections failed for protocol violations.", float64(sv.ProtocolErrors)),
 		metrics.Gauge("pimtree_server_draining", "1 while a graceful shutdown is in progress.", b(sv.Draining)),
+		metrics.Gauge("pimtree_server_members", "Open cluster member sessions.", float64(sv.Members)),
+		metrics.Counter("pimtree_server_member_op_frames_total", "Cluster ops frames applied by member sessions.", float64(sv.MemberOpFrames)),
 	)
+	if s.opts.ExtraProm != nil {
+		fams = append(fams, s.opts.ExtraProm()...)
+	}
 	return fams
 }
