@@ -44,6 +44,10 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		maxLive  = fs.Int("maxlive", 0, "live-tuple bound per window for -mode sharded-time")
 		slack    = fs.Uint64("slack", 0, "tolerated event-time disorder for -mode sharded-time (enables LateDrop)")
 
+		walDir      = fs.String("wal-dir", "", "durability directory: per-shard WAL + snapshots, recovered at startup (sharded modes; empty disables)")
+		walFsync    = fs.Int("wal-fsync-every", 0, "fsync each shard lane after this many records (0 = default 64; 1 = every record)")
+		walSnapshot = fs.Int("wal-snapshot-every", 0, "compacting-snapshot cadence in routed tuples (0 = default 65536; negative disables)")
+
 		queue        = fs.Int("queue", 0, "engine in-flight bound (QueueCapacity; 0 = mode default)")
 		subQueue     = fs.Int("sub-queue", 0, "per-subscriber match queue capacity (0 = default 1024)")
 		subPolicy    = fs.String("sub-policy", "drop", "slow-subscriber policy: drop | block")
@@ -98,6 +102,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		MaxLive:       *maxLive,
 		Slack:         *slack,
 		QueueCapacity: *queue,
+	}
+	if *walDir != "" {
+		cfg.Durability = pimtree.Durability{
+			Dir:           *walDir,
+			FsyncEvery:    *walFsync,
+			SnapshotEvery: *walSnapshot,
+		}
 	}
 	// Same -task handling as the -stdin mode: an unset default must not
 	// steer ModeAuto toward shared mode.

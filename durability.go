@@ -1,0 +1,128 @@
+package pimtree
+
+import (
+	"fmt"
+
+	"pimtree/internal/wal"
+)
+
+// Durability configures the write-ahead log behind the sharded modes:
+// setting Dir makes the window state durable. Every shard worker appends
+// each applied insert to its own log lane (fsync-batched), the router writes
+// periodic compacting snapshots of the live window, and a crashed process
+// reopened on the same directory recovers a multiset-identical window —
+// the largest per-stream prefix of the admitted input that reached disk —
+// and resumes from it (see internal/wal for the on-disk contract).
+//
+// Matches emitted before a crash are not replayed: match delivery is
+// at-most-once across a restart; the recovered window state itself is exact.
+//
+// Requires ModeSharded or ModeShardedTime; with ModeAuto, setting Dir
+// selects a sharded mode like the other sharded knobs.
+type Durability struct {
+	// Dir is the WAL directory (created if missing). Empty disables
+	// durability — the default, and the configuration every steady-state
+	// allocation pin is measured against.
+	Dir string
+	// FsyncEvery batches lane fsyncs: each shard lane syncs its segment
+	// after this many appended records (default 64). 1 syncs every record —
+	// the strongest contract and the slowest. Drain always syncs every lane
+	// regardless, making it the deterministic durability checkpoint.
+	FsyncEvery int
+	// SnapshotEvery is the compacting-snapshot cadence in routed arrivals
+	// (default 65536; negative disables snapshots, letting segments grow
+	// until Close). Each snapshot rewrites the live window and prunes the
+	// log segments it obsoletes, bounding recovery time and disk usage.
+	SnapshotEvery int
+}
+
+// enabled reports whether the configuration turns durability on.
+func (d Durability) enabled() bool { return d.Dir != "" }
+
+// validate rejects knobs without a directory and non-sharded modes.
+func (d Durability) validate(m Mode) error {
+	if !d.enabled() {
+		if d.FsyncEvery != 0 || d.SnapshotEvery != 0 {
+			return fmt.Errorf("pimtree: Durability.FsyncEvery/SnapshotEvery require Durability.Dir")
+		}
+		return nil
+	}
+	if m != ModeSharded && m != ModeShardedTime {
+		return fmt.Errorf("pimtree: Durability requires %s or %s mode (got %s)", ModeSharded, ModeShardedTime, m)
+	}
+	return nil
+}
+
+// defaultSnapshotEvery is the snapshot cadence when the Config leaves it 0.
+const defaultSnapshotEvery = 1 << 16
+
+// snapshotCadence normalizes Durability.SnapshotEvery: 0 selects the
+// default, negative disables.
+func snapshotCadence(n int) int {
+	if n == 0 {
+		return defaultSnapshotEvery
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// WALStats is a point-in-time snapshot of the durability layer's counters.
+// Zero (with Enabled false) when the engine runs without a WAL.
+type WALStats struct {
+	Enabled         bool   // durability configured for this engine
+	AppendedRecords uint64 // records appended across all lanes
+	AppendedBytes   uint64 // framed bytes written to segment files
+	Fsyncs          uint64 // segment and snapshot fsyncs issued
+	Snapshots       uint64 // compacting snapshots written
+	SnapshotNanos   uint64 // cumulative wall time writing snapshots
+	ReplayRecords   uint64 // records read during recovery at Open
+	ReplayNanos     uint64 // wall time of recovery at Open
+	Truncations     uint64 // corruption events survived (truncated lanes, rejected snapshots)
+	WriteErrors     uint64 // appends/syncs abandoned after a filesystem error
+}
+
+// WALStats returns the durability layer's counters. Safe from any goroutine.
+func (e *Engine) WALStats() WALStats {
+	if e.wlog == nil {
+		return WALStats{}
+	}
+	s := e.wlog.Stats().Snapshot()
+	return WALStats{
+		Enabled:         true,
+		AppendedRecords: s.AppendedRecords,
+		AppendedBytes:   s.AppendedBytes,
+		Fsyncs:          s.Fsyncs,
+		Snapshots:       s.Snapshots,
+		SnapshotNanos:   s.SnapshotNanos,
+		ReplayRecords:   s.ReplayRecords,
+		ReplayNanos:     s.ReplayNanos,
+		Truncations:     s.Truncations,
+		WriteErrors:     s.WriteErrors,
+	}
+}
+
+// walOptions translates a validated Config into the WAL's window-shape
+// options (recovery rebuilds eviction frontiers from them).
+func walOptions(cc Config, fs wal.FS) wal.Options {
+	opts := wal.Options{
+		Dir:        cc.Durability.Dir,
+		FsyncEvery: cc.Durability.FsyncEvery,
+		FS:         fs,
+		Self:       cc.Self,
+	}
+	if cc.Mode == ModeShardedTime {
+		opts.Timed = true
+		opts.Span = cc.Span
+		opts.Slack = cc.Slack
+	} else {
+		opts.WR = uint64(cc.WindowR)
+		ws := cc.WindowS
+		if cc.Self {
+			ws = cc.WindowR
+		}
+		opts.WS = uint64(ws)
+	}
+	return opts
+}

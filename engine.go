@@ -16,6 +16,7 @@ import (
 	"pimtree/internal/shard"
 	"pimtree/internal/stream"
 	"pimtree/internal/tune"
+	"pimtree/internal/wal"
 )
 
 // Mode selects the execution runtime behind an Engine.
@@ -237,6 +238,12 @@ type Config struct {
 	// In the sharded modes it is live-tunable through Engine.Reconfigure;
 	// in ModeShared it is fixed at Open.
 	QueueCapacity int
+
+	// Durability makes the sharded window state crash-recoverable through a
+	// per-shard write-ahead log plus periodic compacting snapshots (see
+	// Durability). Zero value disables it. With ModeAuto, setting
+	// Durability.Dir selects a sharded mode like the other sharded knobs.
+	Durability Durability
 }
 
 // validate resolves ModeAuto and checks the whole Config, returning the
@@ -250,7 +257,7 @@ func (c Config) validate() (Config, error) {
 		c.Mode = modeFor(tune.ResolveRuntime(tune.Workload{
 			TimeWindow:     c.Span > 0,
 			ChainedBackend: c.Backend == BChain || c.Backend == IBChain,
-			ShardedKnobs:   c.Shards > 0 || c.Partitioner != nil || c.Adaptive || c.AutoTune,
+			ShardedKnobs:   c.Shards > 0 || c.Partitioner != nil || c.Adaptive || c.AutoTune || c.Durability.enabled(),
 			SharedKnobs:    c.Threads > 0 || c.TaskSize > 0 || c.BlockingMerge || c.RecordLatency,
 			Cores:          runtime.GOMAXPROCS(0),
 		}))
@@ -303,6 +310,9 @@ func (c Config) validate() (Config, error) {
 	if c.AutoTune && c.Mode != ModeSharded && c.Mode != ModeShardedTime {
 		return c, fmt.Errorf("pimtree: auto-tuning requires %s or %s mode (got %s)", ModeSharded, ModeShardedTime, c.Mode)
 	}
+	if err := c.Durability.validate(c.Mode); err != nil {
+		return c, err
+	}
 	if c.DiscardMatches && c.OnMatch != nil {
 		return c, fmt.Errorf("pimtree: DiscardMatches with OnMatch set (pick a side)")
 	}
@@ -348,6 +358,7 @@ type Engine struct {
 	serial *join.Streaming
 	shared *join.Shared
 	router *shard.Router
+	wlog   *wal.Log // durability layer; nil unless Config.Durability.Dir
 
 	onMatch func(Match)
 	pull    *matchQueue
@@ -369,8 +380,17 @@ type Engine struct {
 }
 
 // Open validates the Config, builds the selected runtime, starts its
-// workers, and returns the session handle.
+// workers, and returns the session handle. With Durability configured it
+// first recovers any state a previous session left in the WAL directory, so
+// the new session resumes the durable prefix.
 func Open(cfg Config) (*Engine, error) {
+	return openWithWALFS(cfg, nil)
+}
+
+// openWithWALFS is Open with the WAL filesystem injectable — the seam the
+// crash-injection tests use to run recovery against an in-memory filesystem
+// with deterministic crash points. nil selects the real filesystem.
+func openWithWALFS(cfg Config, wfs wal.FS) (*Engine, error) {
 	cc, err := cfg.validate()
 	if err != nil {
 		return nil, err
@@ -454,7 +474,21 @@ func Open(cfg Config) (*Engine, error) {
 				ForceEvery: cc.Rebalance.ForceEvery,
 			}
 		}
+		var wst *wal.State
+		if cc.Durability.enabled() {
+			wlog, st, werr := wal.Open(walOptions(cc, wfs))
+			if werr != nil {
+				return nil, fmt.Errorf("pimtree: opening WAL: %w", werr)
+			}
+			e.wlog = wlog
+			wst = st
+			rcfg.WAL = wlog
+			rcfg.SnapshotEvery = snapshotCadence(cc.Durability.SnapshotEvery)
+		}
 		e.router = shard.NewRouter(rcfg, cc.QueueCapacity)
+		// Replay before anything can push: the workers are parked, so the
+		// restored window is published by the first batch send.
+		e.router.Restore(wst)
 	}
 	e.start = time.Now()
 	e.gcBase = metrics.ReadGC()

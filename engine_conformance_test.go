@@ -473,3 +473,102 @@ func TestEngineBackpressure(t *testing.T) {
 		})
 	}
 }
+
+// TestEngineDurableCloseReopen is the lifecycle conformance point for the
+// durability layer on the real filesystem: closing a durable engine and
+// reopening the same Config on the same directory must yield a session that
+// behaves exactly as if the first session's input had been pushed into it —
+// its matches are the serial oracle's matches whose probe falls in the
+// second half of the stream, with the global sequence numbering continued.
+func TestEngineDurableCloseReopen(t *testing.T) {
+	const w = 256
+	n := 4000
+	if testing.Short() {
+		n = 2000
+	}
+	diff := pimtree.DiffForMatchRate(w, 2)
+	arr := pimtree.Interleave(29, pimtree.UniformSource(31), pimtree.UniformSource(37), 0.5, n)
+	full, _ := serialOracle(t, arr, w, diff)
+	half := n / 2
+	firstHalf, _ := serialOracle(t, arr[:half], w, diff)
+	var n1 [2]uint64 // per-stream tuple counts of the first half
+	for _, a := range arr[:half] {
+		n1[a.Stream]++
+	}
+
+	dir := t.TempDir()
+	cfg := pimtree.Config{
+		Mode: pimtree.ModeSharded, Backend: pimtree.PIMTree,
+		WindowR: w, WindowS: w, Diff: diff,
+		Shards: 3, BatchSize: 16,
+		Durability: pimtree.Durability{Dir: dir, FsyncEvery: 16, SnapshotEvery: 512},
+	}
+
+	var msA []matchKey
+	var muA sync.Mutex
+	cfgA := cfg
+	cfgA.OnMatch = func(m pimtree.Match) {
+		muA.Lock()
+		msA = append(msA, matchKey{m.ProbeStream, m.ProbeSeq, m.MatchSeq})
+		muA.Unlock()
+	}
+	a, err := pimtree.Open(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PushBatch(arr[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sortedMatches(msA), firstHalf; len(got) != len(want) {
+		t.Fatalf("session A emitted %d matches, oracle %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("session A match %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	var msB []matchKey
+	var muB sync.Mutex
+	cfgB := cfg
+	cfgB.OnMatch = func(m pimtree.Match) {
+		muB.Lock()
+		msB = append(msB, matchKey{m.ProbeStream, m.ProbeSeq, m.MatchSeq})
+		muB.Unlock()
+	}
+	b, err := pimtree.Open(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := b.WALStats()
+	if !ws.Enabled || ws.ReplayRecords == 0 {
+		t.Fatalf("session B recovered nothing: %+v", ws)
+	}
+	if err := b.PushBatch(arr[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var want []matchKey
+	for _, m := range full {
+		if m.probe >= n1[m.stream] {
+			want = append(want, m)
+		}
+	}
+	got := sortedMatches(msB)
+	want = sortedMatches(want)
+	if len(got) != len(want) {
+		t.Fatalf("session B emitted %d matches, oracle's second-half probes have %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("session B match %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-serve",
 		"abl-alloc",
 		"abl-tune",
+		"abl-wal",
 		"model",
 	}
 	for _, id := range want {

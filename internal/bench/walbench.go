@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"pimtree"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-wal",
+		Title: "ablation: durability cost — WAL off vs fsync-every-record vs batched fsync",
+		Run:   runAblWal,
+	})
+}
+
+// runAblWal measures what the per-shard write-ahead log costs the sharded
+// engine on the same workload: no durability at all, the paranoid
+// fsync-every-record setting, and the default batched-fsync cadence
+// (FsyncEvery 0 → 64 records per sync, the production setting). Each row
+// reports session throughput plus the p50/p99 ingest latency of a 256-tuple
+// PushBatch — batched is the price of durability as shipped, while fsync-1
+// pays one device sync per record and exists as the upper bound on
+// durability cost. The latency columns are µs and therefore
+// ungated by default in cmd/benchgate; the Mtps column is what CI's
+// recovery-smoke job gates against BENCH_PR10.json.
+func runAblWal(cfg Config, out io.Writer) {
+	w := 1 << 14
+	if cfg.Scale == Quick {
+		w = 1 << 12
+	} else if cfg.Scale == Paper {
+		w = 1 << 17
+	}
+	header(out, "abl-wal", "durability cost at w="+wLabel(w))
+	row(out, "variant", "Mtps", "p50 µs", "p99 µs")
+	n := cfg.tuplesFor(w)
+	diff := pimtree.DiffForMatchRate(w, 2)
+	arr := make([]pimtree.Arrival, n)
+	for i, a := range twoWay(n, cfg.seed()) {
+		arr[i] = pimtree.Arrival{Stream: pimtree.StreamID(a.Stream), Key: a.Key}
+	}
+
+	variants := []struct {
+		name    string
+		durable bool
+		fsync   int
+		input   []pimtree.Arrival
+	}{
+		{"wal-off", false, 0, arr},
+		// fsync-1 performs one device sync per record; its input is capped
+		// so the upper-bound row stays affordable on CI. Mtps is normalized
+		// per tuple, so rows of different length remain comparable.
+		{"fsync-1", true, 1, arr[:min(n, 1<<13)]},
+		{"batched", true, 0, arr},
+	}
+	for _, v := range variants {
+		c := pimtree.Config{
+			Mode:    pimtree.ModeSharded,
+			WindowR: w, WindowS: w, Diff: diff,
+			Shards:         cfg.threads(),
+			DiscardMatches: true,
+		}
+		if v.durable {
+			dir, err := os.MkdirTemp("", "pimtree-walbench-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Durability = pimtree.Durability{Dir: dir, FsyncEvery: v.fsync}
+			mtps, p50, p99 := measureWAL(c, v.input)
+			os.RemoveAll(dir)
+			row(out, v.name, mtps, p50, p99)
+			continue
+		}
+		mtps, p50, p99 := measureWAL(c, v.input)
+		row(out, v.name, mtps, p50, p99)
+	}
+}
+
+// measureWAL runs one engine session over the arrivals in 256-tuple batches
+// and returns session throughput plus the per-batch ingest latency
+// percentiles in microseconds.
+func measureWAL(cfg pimtree.Config, arr []pimtree.Arrival) (mtps, p50, p99 float64) {
+	const chunk = 256
+	e, err := pimtree.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat := make([]time.Duration, 0, len(arr)/chunk+1)
+	for lo := 0; lo < len(arr); lo += chunk {
+		hi := lo + chunk
+		if hi > len(arr) {
+			hi = len(arr)
+		}
+		t0 := time.Now()
+		if err := e.PushBatch(arr[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	st, err := e.Close(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e3
+	}
+	return st.Mtps, pct(0.50), pct(0.99)
+}

@@ -87,6 +87,25 @@ func (r *Reorderer) Watermark() uint64 {
 	return wm
 }
 
+// MaxTS returns the largest event timestamp observed (zero before the first
+// tuple or Seed).
+func (r *Reorderer) MaxTS() uint64 { return r.maxTS }
+
+// Seed primes an empty buffer with a recovered frontier: maxTS restores the
+// disorder clock and floor the release watermark, so a restarted session
+// resumes the output clock of the durable prefix instead of re-admitting
+// event times it already released. Raising only — a seed below the current
+// state is ignored.
+func (r *Reorderer) Seed(maxTS, floor uint64) {
+	if maxTS > r.maxTS || (maxTS > 0 && !r.seen) {
+		r.seen = true
+		r.maxTS = maxTS
+	}
+	if floor > r.floor {
+		r.floor = floor
+	}
+}
+
 // Push ingests one tuple, invoking emit zero or more times with released
 // tuples in non-decreasing timestamp order (ties in arrival order).
 func (r *Reorderer) Push(t Tuple, emit func(Tuple)) {

@@ -689,6 +689,32 @@ type shardJSON struct {
 	Resident     int    `json:"resident"`
 }
 
+// walJSON mirrors pimtree.WALStats with stable JSON names.
+type walJSON struct {
+	AppendedRecords uint64  `json:"appended_records"`
+	AppendedBytes   uint64  `json:"appended_bytes"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	Snapshots       uint64  `json:"snapshots"`
+	SnapshotSeconds float64 `json:"snapshot_seconds"`
+	ReplayRecords   uint64  `json:"replay_records"`
+	ReplaySeconds   float64 `json:"replay_seconds"`
+	Truncations     uint64  `json:"truncations"`
+	WriteErrors     uint64  `json:"write_errors"`
+}
+
+// walStats returns the durability counters when the served engine exposes
+// them AND durability is configured. The Engine interface stays minimal —
+// WALStats is probed through an optional interface, so cluster frontends
+// (which have no single WAL) simply report nothing.
+func (s *Server) walStats() (pimtree.WALStats, bool) {
+	e, ok := s.eng.(interface{ WALStats() pimtree.WALStats })
+	if !ok {
+		return pimtree.WALStats{}, false
+	}
+	ws := e.WALStats()
+	return ws, ws.Enabled
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	sv := s.Stats()
@@ -718,6 +744,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		GCCycles            uint64      `json:"gc_cycles"`
 		GCPauseSeconds      float64     `json:"gc_pause_seconds"`
 		Shards              []shardJSON `json:"shards,omitempty"`
+		WAL                 *walJSON    `json:"wal,omitempty"`
 		Server              struct {
 			Connections      int    `json:"connections"`
 			Subscribers      int    `json:"subscribers"`
@@ -748,6 +775,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		GCCycles:            st.GCCycles,
 		GCPauseSeconds:      st.GCPauseTotal.Seconds(),
 		Shards:              shards,
+	}
+	if ws, ok := s.walStats(); ok {
+		payload.WAL = &walJSON{
+			AppendedRecords: ws.AppendedRecords,
+			AppendedBytes:   ws.AppendedBytes,
+			Fsyncs:          ws.Fsyncs,
+			Snapshots:       ws.Snapshots,
+			SnapshotSeconds: float64(ws.SnapshotNanos) / 1e9,
+			ReplayRecords:   ws.ReplayRecords,
+			ReplaySeconds:   float64(ws.ReplayNanos) / 1e9,
+			Truncations:     ws.Truncations,
+			WriteErrors:     ws.WriteErrors,
+		}
 	}
 	payload.Node.ID = s.opts.NodeID
 	payload.Node.Role = s.opts.Role
@@ -913,6 +953,19 @@ func (s *Server) promFamilies() []metrics.PromFamily {
 		metrics.Gauge("pimtree_tune_adaptive", "1 while adaptive shard rebalancing is live.", b(tn.Adaptive)),
 		metrics.Gauge("pimtree_tune_autotune", "1 while the AutoTune feedback controller is running.", b(tn.AutoTune)),
 	)
+	if ws, ok := s.walStats(); ok {
+		fams = append(fams,
+			metrics.Counter("pimtree_wal_appended_records_total", "Records appended across all WAL lanes.", float64(ws.AppendedRecords)),
+			metrics.Counter("pimtree_wal_appended_bytes_total", "Framed bytes written to WAL segment files.", float64(ws.AppendedBytes)),
+			metrics.Counter("pimtree_wal_fsyncs_total", "Segment and snapshot fsyncs issued by the WAL.", float64(ws.Fsyncs)),
+			metrics.Counter("pimtree_wal_snapshots_total", "Compacting window snapshots written.", float64(ws.Snapshots)),
+			metrics.Counter("pimtree_wal_snapshot_seconds_total", "Cumulative wall time spent writing snapshots.", float64(ws.SnapshotNanos)/1e9),
+			metrics.Counter("pimtree_wal_replay_records_total", "Records read during recovery at startup.", float64(ws.ReplayRecords)),
+			metrics.Counter("pimtree_wal_replay_seconds_total", "Wall time of WAL recovery at startup.", float64(ws.ReplayNanos)/1e9),
+			metrics.Counter("pimtree_wal_truncations_total", "Corruption events survived by recovery (truncated lanes, rejected snapshots).", float64(ws.Truncations)),
+			metrics.Counter("pimtree_wal_write_errors_total", "WAL appends or fsyncs abandoned after a filesystem error.", float64(ws.WriteErrors)),
+		)
+	}
 	if loads := s.eng.ShardLoads(); len(loads) > 0 {
 		ins := metrics.PromFamily{Name: "pimtree_shard_inserts_total", Help: "Tuple inserts routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}
 		prb := metrics.PromFamily{Name: "pimtree_shard_probes_total", Help: "Probe fan-ins routed per shard since the last rebalance epoch (adaptive runs only).", Type: "counter"}

@@ -856,3 +856,113 @@ func TestTuningEndpoint(t *testing.T) {
 		t.Fatalf("DELETE: %d", resp.StatusCode)
 	}
 }
+
+// TestAdminWALEndpoints validates the pimtree_wal_* exposition: a durable
+// session surfaces live WAL counters on /stats and /metrics (in valid
+// exposition grammar), and a session without durability omits the families
+// entirely instead of exporting dead zeros.
+func TestAdminWALEndpoints(t *testing.T) {
+	cfg := countCfg(pimtree.ModeSharded)
+	cfg.Durability = pimtree.Durability{Dir: t.TempDir(), FsyncEvery: 16, SnapshotEvery: 1024}
+	s := startServer(t, cfg, Options{AdminAddr: "127.0.0.1:0", Slow: Block})
+	base := "http://" + s.AdminAddr().String()
+
+	c, err := Dial(s.Addr().String(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PushBatch(countArrivals(5000, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DrainWait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// /stats: the wal block is present with live counters. Drain fsyncs
+	// every lane, so by now every pushed tuple is an appended record.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		WAL *struct {
+			AppendedRecords uint64 `json:"appended_records"`
+			AppendedBytes   uint64 `json:"appended_bytes"`
+			Fsyncs          uint64 `json:"fsyncs"`
+			Snapshots       uint64 `json:"snapshots"`
+			Truncations     uint64 `json:"truncations"`
+			WriteErrors     uint64 `json:"write_errors"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/stats: %v", err)
+	}
+	resp.Body.Close()
+	if stats.WAL == nil {
+		t.Fatal("/stats omits the wal block on a durable session")
+	}
+	if stats.WAL.AppendedRecords < 5000 || stats.WAL.AppendedBytes == 0 || stats.WAL.Fsyncs == 0 {
+		t.Fatalf("/stats wal counters not live: %+v", stats.WAL)
+	}
+	if stats.WAL.Snapshots < 4 { // 5000 arrivals / 1024 cadence
+		t.Fatalf("/stats wal snapshots = %d, want >= 4", stats.WAL.Snapshots)
+	}
+	if stats.WAL.Truncations != 0 || stats.WAL.WriteErrors != 0 {
+		t.Fatalf("/stats wal reports failures on a healthy run: %+v", stats.WAL)
+	}
+
+	// /metrics: every family present, every line grammatical.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"pimtree_wal_appended_records_total " + fmt.Sprint(stats.WAL.AppendedRecords),
+		"pimtree_wal_appended_bytes_total",
+		"pimtree_wal_fsyncs_total",
+		"pimtree_wal_snapshots_total " + fmt.Sprint(stats.WAL.Snapshots),
+		"pimtree_wal_snapshot_seconds_total",
+		"pimtree_wal_replay_records_total 0",
+		"pimtree_wal_replay_seconds_total",
+		"pimtree_wal_truncations_total 0",
+		"pimtree_wal_write_errors_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !promSampleRe.MatchString(line) && !promCommentRe.MatchString(line) {
+			t.Errorf("/metrics line fails exposition grammar: %q", line)
+		}
+	}
+
+	// Durability off: no wal families, no wal block.
+	s2 := startServer(t, countCfg(pimtree.ModeSharded), Options{AdminAddr: "127.0.0.1:0", Slow: Block})
+	base2 := "http://" + s2.AdminAddr().String()
+	resp, err = http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "pimtree_wal_") {
+		t.Error("/metrics exports pimtree_wal_* without durability configured")
+	}
+	resp, err = http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("/stats: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["wal"]; ok {
+		t.Error("/stats exports a wal block without durability configured")
+	}
+}

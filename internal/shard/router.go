@@ -29,6 +29,7 @@ import (
 	"pimtree/internal/metrics"
 	"pimtree/internal/ooo"
 	"pimtree/internal/stream"
+	"pimtree/internal/wal"
 )
 
 // Config configures a sharded join run.
@@ -79,6 +80,18 @@ type Config struct {
 	OnLate  func(t ooo.Tuple, lateness uint64)
 
 	Sink join.MatchSink // optional ordered result sink
+
+	// WAL, when non-nil, makes the window state durable: every shard worker
+	// appends each applied insert to its own log lane, Drain becomes a
+	// durability barrier (watermark record + fsync on every lane), and —
+	// with SnapshotEvery > 0 — the router writes a compacting snapshot of
+	// the live window every SnapshotEvery routed arrivals, rotating all
+	// lanes at a drain barrier and pruning the segments the snapshot
+	// obsoletes. Restore replays a recovered state into a fresh router.
+	WAL *wal.Log
+	// SnapshotEvery is the snapshot cadence in routed arrivals (0 disables
+	// snapshots; the log then grows until Close). Ignored when WAL is nil.
+	SnapshotEvery int
 }
 
 // probeState tracks one arrival's completion across its fan-out shards,
@@ -212,6 +225,16 @@ type Router struct {
 	// Timed-mode admission: the reorder buffer in front of routing. Nil for
 	// count windows.
 	reorder *ooo.Reorderer
+
+	// Durability state (nil/zero when cfg.WAL is nil). lanes is parallel to
+	// engines: each worker appends to its own lane, so the hot path never
+	// locks; the router only touches lanes while the workers are parked at a
+	// drain barrier (rotate, sync, seal). metaLane carries the router's
+	// watermark records. lastSnap is the arrival index of the last snapshot
+	// epoch.
+	lanes    []*wal.Lane
+	metaLane *wal.Lane
+	lastSnap int
 }
 
 // NewRouter builds a sharded runtime whose in-flight ring holds capacity
@@ -302,8 +325,15 @@ func NewRouter(cfg Config, capacity int) *Router {
 	for i := range r.pend {
 		r.pend[i].first = -1
 	}
+	r.lanes = make([]*wal.Lane, k)
+	if cfg.WAL != nil {
+		r.metaLane = cfg.WAL.NewLane()
+	}
 	for s := 0; s < k; s++ {
 		r.engines[s] = newEngine(cfg)
+		if cfg.WAL != nil {
+			r.lanes[s] = cfg.WAL.NewLane()
+		}
 		r.chans[s] = make(chan []op, shardChanCap)
 		// Channel capacity + one pending in the router + one in the worker,
 		// with headroom: after warmup every consumed batch finds a free slot.
@@ -411,6 +441,9 @@ func (r *Router) Push(a stream.Arrival) {
 	if r.cfg.Adaptive {
 		r.maybeRebalance()
 	}
+	if r.cfg.WAL != nil {
+		r.maybeWALSnapshot()
+	}
 }
 
 // PushTimed admits one timed arrival to the reorder buffer (timed mode
@@ -423,6 +456,9 @@ func (r *Router) PushTimed(s uint8, key uint32, ts uint64) {
 		panic("shard: PushTimed on a count-window router")
 	}
 	r.reorder.Push(ooo.Tuple{Stream: s, Key: key, TS: ts}, r.routeTimed)
+	if r.cfg.WAL != nil {
+		r.maybeWALSnapshot()
+	}
 }
 
 // routeTimed routes one watermark-released tuple: a probe op to every shard
@@ -629,6 +665,12 @@ func (r *Router) reshard(want int) {
 		close(ch)
 	}
 	r.wg.Wait()
+	// Seal the retiring workers' lanes (they have exited; the sealed
+	// segments stay on disk until a later snapshot covers them). The new
+	// worker set gets fresh lanes below.
+	for _, l := range r.lanes {
+		l.Close()
+	}
 	// Bank the retiring engines' merge statistics so Close's totals survive
 	// the rebuild.
 	for _, e := range r.engines {
@@ -662,8 +704,12 @@ func (r *Router) reshard(want int) {
 		}
 	}
 	engines := make([]*engine, k)
+	lanes := make([]*wal.Lane, k)
 	for s := range engines {
 		engines[s] = newEngine(cfg)
+		if cfg.WAL != nil {
+			lanes[s] = cfg.WAL.NewLane()
+		}
 	}
 	r.moved.Add(int64(migrate(r.engines, engines, cfg, part, wms)))
 
@@ -683,6 +729,7 @@ func (r *Router) reshard(want int) {
 	r.cfg = cfg
 	r.part = part
 	r.engines = engines
+	r.lanes = lanes
 	r.chans = chans
 	r.free = free
 	r.pend = pend
@@ -748,6 +795,18 @@ func (r *Router) Drain() {
 	}
 	r.drainBarrier()
 	r.propagate()
+	if r.cfg.WAL != nil {
+		// Drain is the durability checkpoint: record the frontier (the
+		// watermark record makes the reorder clock recoverable even when the
+		// disorder slack would otherwise hold it back) and fsync every lane.
+		// The workers are parked at their channel receive behind the barrier,
+		// so the router may touch their lanes.
+		r.metaLane.AppendWatermark(r.heads, r.reorderMaxTS(), r.reorderFloor())
+		for _, l := range r.lanes {
+			l.Sync()
+		}
+		r.metaLane.Sync()
+	}
 }
 
 // Rebalances returns how many rebalance epochs have completed. Safe from
@@ -870,6 +929,15 @@ func (r *Router) Close() join.Stats {
 	}
 	r.wg.Wait()
 	r.propagate()
+	if r.cfg.WAL != nil {
+		// Seal the log: final frontier record, then flush+fsync+close every
+		// lane. The sealed segments are the recovery source for a reopen.
+		r.metaLane.AppendWatermark(r.heads, r.reorderMaxTS(), r.reorderFloor())
+		for _, l := range r.lanes {
+			l.Close()
+		}
+		r.metaLane.Close()
+	}
 	st := join.Stats{Tuples: r.n, Matches: r.matches, Rebalances: int(r.epochs.Load()), Migrated: int(r.moved.Load())}
 	if r.reorder != nil {
 		st.LateDropped = r.reorder.LateDropped()
@@ -890,6 +958,7 @@ func (r *Router) Close() join.Stats {
 func (r *Router) worker(s int) {
 	defer r.wg.Done()
 	e := r.engines[s]
+	lane := r.lanes[s] // nil when durability is off
 	for batch := range r.chans[s] {
 		if batch == nil {
 			// Rebalance drain barrier: everything routed before the
@@ -901,6 +970,9 @@ func (r *Router) worker(s int) {
 		for j := range batch {
 			o := &batch[j]
 			if o.kind == opInsert {
+				if lane != nil {
+					lane.AppendInsert(o.stream, o.key, o.seq, o.ts)
+				}
 				e.insert(o)
 				continue
 			}

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the WAL writes through. Production uses the
+// operating system (OSFS); the crash-injection test harness substitutes an
+// in-memory implementation that models fsync boundaries and kills writes at
+// a chosen byte or sync (see MemFS).
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the file names (not paths) in dir, in any order.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	// Create truncates-or-creates path for writing.
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath and makes the switch
+	// durable (the OS implementation syncs the parent directory).
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+// File is one writable WAL file.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(newpath))
+	return nil
+}
+
+func (OSFS) Remove(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir makes a directory mutation (rename, unlink, create) durable.
+// Best-effort: a filesystem that cannot fsync a directory degrades to its
+// own journaling guarantees.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,147 @@
+package wal
+
+// Lane is one single-writer append stream of the log: lane 0 belongs to the
+// router (watermark records), every shard worker owns one (insert records).
+// A lane buffers encoded frames in memory and flushes+fsyncs after
+// FsyncEvery records — the fsync batch is the durability unit. None of its
+// methods lock: the shard runtime guarantees a lane is touched either by its
+// worker goroutine or, at a drain barrier (rotate, seal), by the router
+// while the worker is parked, with the barrier providing the memory edge.
+//
+// The first filesystem error disables the lane (sticky err): the join keeps
+// running with durability degraded rather than panicking mid-stream, and the
+// error is counted in Stats.WriteErrors.
+type Lane struct {
+	log *Log
+	id  int
+	seg int
+
+	f       File
+	buf     []byte
+	pending int  // records buffered since the last flush
+	dirty   bool // bytes written to f since the last fsync
+	err     error
+}
+
+// AppendInsert logs one applied insert op. Worker-goroutine side of the
+// hot path: one buffered encode, amortized flush+fsync.
+func (l *Lane) AppendInsert(stream uint8, key uint32, seq, ts uint64) {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.buf = appendInsert(l.buf, Tuple{Stream: stream, Key: key, Seq: seq, TS: ts})
+	l.record()
+}
+
+// AppendWatermark logs the router's frontier (meta lane): the per-stream
+// sequence heads plus, in timed mode, the reorder buffer's max event time
+// and release watermark. Recovery uses it as eviction/seeding evidence when
+// its heads fall inside the recovered prefix.
+func (l *Lane) AppendWatermark(heads [2]uint64, maxTS, floor uint64) {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.buf = appendWatermark(l.buf, heads, maxTS, floor)
+	l.record()
+}
+
+// record accounts one appended record and applies the fsync-batching policy.
+func (l *Lane) record() {
+	l.log.stats.AppendedRecords.Add(1)
+	l.pending++
+	if l.pending >= l.log.fsyncEvery {
+		l.sync()
+	}
+}
+
+// Sync flushes buffered records and fsyncs the segment — the router calls it
+// on every lane at Drain, making Drain a durability barrier. No-op when
+// nothing new was appended or written since the last fsync.
+func (l *Lane) Sync() {
+	if l == nil || l.err != nil {
+		return
+	}
+	if l.pending == 0 && !l.dirty {
+		return
+	}
+	l.sync()
+}
+
+// sync writes the buffer and fsyncs, recording the first error sticky.
+func (l *Lane) sync() {
+	if len(l.buf) > 0 {
+		n, err := l.f.Write(l.buf)
+		l.log.stats.AppendedBytes.Add(uint64(n))
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		l.buf = l.buf[:0]
+		l.dirty = true
+	}
+	l.pending = 0
+	if !l.dirty {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.fail(err)
+		return
+	}
+	l.dirty = false
+	l.log.stats.Fsyncs.Add(1)
+}
+
+// Rotate seals the current segment (flush, fsync, close) and starts the next
+// one. Called by the router at snapshot barriers while the lane's worker is
+// parked; sealed segments become prunable once the covering snapshot is
+// durable.
+func (l *Lane) Rotate() {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.sync()
+	if l.err != nil {
+		return
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+		return
+	}
+	l.log.forget(segName(l.id, l.seg))
+	l.seg++
+	f, err := l.log.create(segName(l.id, l.seg))
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	l.f = f
+}
+
+// Close seals the lane for good: flush, fsync, close. The segment file stays
+// on disk — it is the recovery source — but leaves the log's active set, so
+// a LATER snapshot (which by the barrier protocol covers everything sealed
+// before it) may prune it. At shutdown no such snapshot follows and the
+// segment simply persists.
+func (l *Lane) Close() {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.sync()
+	if l.err != nil {
+		return
+	}
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+		return
+	}
+	l.log.forget(segName(l.id, l.seg))
+}
+
+// fail disables the lane after its first filesystem error.
+func (l *Lane) fail(err error) {
+	l.err = err
+	l.log.stats.WriteErrors.Add(1)
+	if l.f != nil {
+		_ = l.f.Close()
+	}
+}

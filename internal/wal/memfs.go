@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every mutating operation on a MemFS whose crash
+// point has been reached.
+var ErrCrashed = errors.New("memfs: crashed")
+
+// MemFS is an in-memory FS that models the part of a real filesystem that
+// matters for durability testing: the split between written bytes (page
+// cache) and synced bytes (durable). A crash point — the Nth byte written or
+// the Nth fsync — kills all further mutation mid-operation, so a write can
+// tear anywhere; Crash then yields the survivor filesystem a rebooted
+// process would see, with unsynced bytes either kept (the cache happened to
+// reach disk) or lost (it did not). Sweeping the crash point across a
+// recorded run's TotalBytes/TotalSyncs enumerates every torn-tail and
+// lost-batch state the production OSFS could leave behind.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+	dirs  map[string]struct{}
+
+	bytesBudget int64 // crash once this many bytes have been written; <0 = never
+	syncsBudget int64 // crash at this many fsyncs; <0 = never
+	totalBytes  int64
+	totalSyncs  int64
+	crashed     bool
+}
+
+type memData struct {
+	data   []byte
+	synced int // prefix length durable at the last successful fsync
+}
+
+// NewMemFS returns an empty filesystem with no crash point armed.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:       make(map[string]*memData),
+		dirs:        make(map[string]struct{}),
+		bytesBudget: -1,
+		syncsBudget: -1,
+	}
+}
+
+// CrashAfterBytes arms the crash point at the nth written byte: the write
+// crossing the boundary is torn there and everything after fails.
+func (m *MemFS) CrashAfterBytes(n int64) {
+	m.mu.Lock()
+	m.bytesBudget = n
+	m.mu.Unlock()
+}
+
+// CrashAfterSyncs arms the crash point at the nth fsync: that sync and
+// everything after fails (its bytes stay unsynced).
+func (m *MemFS) CrashAfterSyncs(n int64) {
+	m.mu.Lock()
+	m.syncsBudget = n
+	m.mu.Unlock()
+}
+
+// TotalBytes reports the bytes written so far — run once without a crash
+// point to size a byte-level sweep.
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalBytes
+}
+
+// TotalSyncs reports the fsyncs performed so far.
+func (m *MemFS) TotalSyncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalSyncs
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Crash returns the filesystem a rebooted process finds: a deep copy with no
+// crash point armed. With loseUnsynced, every file is truncated to its last
+// fsynced prefix — the strictest (and only guaranteed) contract; without it,
+// written-but-unsynced bytes survive, as they often do in practice. Valid to
+// call whether or not the armed crash point was reached.
+func (m *MemFS) Crash(loseUnsynced bool) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for path, f := range m.files {
+		data := f.data
+		if loseUnsynced {
+			data = data[:f.synced]
+		}
+		cp := append([]byte(nil), data...)
+		out.files[path] = &memData{data: cp, synced: len(cp)}
+	}
+	for d := range m.dirs {
+		out.dirs[d] = struct{}{}
+	}
+	return out
+}
+
+// FlipBit flips one bit of a stored file, for corruption-injection tests.
+func (m *MemFS) FlipBit(path string, bit int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok || bit < 0 || bit >= len(f.data)*8 {
+		return false
+	}
+	f.data[bit/8] ^= 1 << (bit % 8)
+	return true
+}
+
+// Paths returns all file paths, sorted — sweep helpers use it to pick
+// corruption targets.
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.files))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Size returns the byte length of a stored file (0 if absent).
+func (m *MemFS) Size(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path]; ok {
+		return len(f.data)
+	}
+	return 0
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[dir] = struct{}{}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: no such file", path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f := &memData{}
+	m.files[path] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Rename models the POSIX contract the snapshot protocol relies on: the name
+// switch is atomic and (with the directory fsync OSFS performs) durable. The
+// renamed file's CONTENT durability is still governed by its synced length —
+// rename then crash-with-lost-cache yields a present-but-invalid snapshot,
+// which recovery must reject.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: %s: no such file", oldpath)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: no such file", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// memHandle is one writable file handle.
+type memHandle struct {
+	fs *MemFS
+	f  *memData
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	n := len(p)
+	if h.fs.bytesBudget >= 0 {
+		if remain := h.fs.bytesBudget - h.fs.totalBytes; int64(n) > remain {
+			n = int(remain) // the boundary write tears mid-record
+			h.fs.crashed = true
+		}
+	}
+	h.f.data = append(h.f.data, p[:n]...)
+	h.fs.totalBytes += int64(n)
+	if n < len(p) {
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if h.fs.syncsBudget >= 0 && h.fs.totalSyncs >= h.fs.syncsBudget {
+		h.fs.crashed = true
+		return ErrCrashed
+	}
+	h.fs.totalSyncs++
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

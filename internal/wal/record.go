@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Every WAL file — segments and snapshots alike — is a sequence of frames:
+//
+//	[payload length u32 LE][CRC32-C(payload) u32 LE][payload]
+//
+// The payload's first byte is the record kind. Framing is what makes
+// corruption survivable: a torn tail fails the length or CRC check, a bit
+// flip fails the CRC, and in both cases the reader truncates the file at the
+// last valid frame instead of guessing.
+const (
+	frameHeader = 8
+	// maxFrame bounds a frame a reader will believe: a corrupt length field
+	// must not drive a multi-gigabyte allocation. Snapshot tuple chunks are
+	// written well below it.
+	maxFrame = 1 << 20
+)
+
+// Record kinds.
+const (
+	kindInsert     = 1 // [stream u8][key u32][seq u64][ts u64] — one applied insert
+	kindWatermark  = 2 // [head0 u64][head1 u64][maxTS u64][floor u64] — router frontier
+	kindSnapHeader = 3 // [flags u8][head0][head1][wm0][wm1][maxTS][floor][count u64]
+	kindSnapTuples = 4 // [n u32][n × (stream u8, key u32, seq u64, ts u64)]
+	kindSnapFooter = 5 // [total u64] — must equal the header's count
+)
+
+// snapFlagTimed marks a snapshot of a time-window run.
+const snapFlagTimed = 1
+
+// Payload sizes (including the kind byte).
+const (
+	insertLen     = 1 + tupleWire
+	watermarkLen  = 1 + 4*8
+	snapHeaderLen = 2 + 7*8
+	snapFooterLen = 1 + 8
+	tupleWire     = 21 // [stream u8][key u32][seq u64][ts u64]
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// headerReserve is appended ahead of a payload and overwritten by sealFrame;
+// a package-level array keeps the append from allocating per record.
+var headerReserve [frameHeader]byte
+
+// appendFrame wraps payload (already appended at buf[start:]) with the frame
+// header written into the 8 bytes reserved at buf[start-frameHeader:start].
+// Callers reserve the header, append the payload, then seal.
+func sealFrame(buf []byte, start int) {
+	payload := buf[start:]
+	binary.LittleEndian.PutUint32(buf[start-frameHeader:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start-frameHeader+4:], crc32.Checksum(payload, castagnoli))
+}
+
+// appendInsert appends a framed insert record.
+func appendInsert(buf []byte, t Tuple) []byte {
+	buf = append(buf, headerReserve[:]...)
+	start := len(buf)
+	buf = append(buf, kindInsert)
+	buf = appendTuple(buf, t)
+	sealFrame(buf, start)
+	return buf
+}
+
+// appendWatermark appends a framed watermark record.
+func appendWatermark(buf []byte, heads [2]uint64, maxTS, floor uint64) []byte {
+	buf = append(buf, headerReserve[:]...)
+	start := len(buf)
+	buf = append(buf, kindWatermark)
+	buf = binary.LittleEndian.AppendUint64(buf, heads[0])
+	buf = binary.LittleEndian.AppendUint64(buf, heads[1])
+	buf = binary.LittleEndian.AppendUint64(buf, maxTS)
+	buf = binary.LittleEndian.AppendUint64(buf, floor)
+	sealFrame(buf, start)
+	return buf
+}
+
+// appendTuple appends the 21-byte tuple wire form.
+func appendTuple(buf []byte, t Tuple) []byte {
+	buf = append(buf, t.Stream)
+	buf = binary.LittleEndian.AppendUint32(buf, t.Key)
+	buf = binary.LittleEndian.AppendUint64(buf, t.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, t.TS)
+	return buf
+}
+
+// decodeTuple decodes one 21-byte tuple; the caller has length-checked b.
+func decodeTuple(b []byte) Tuple {
+	return Tuple{
+		Stream: b[0],
+		Key:    binary.LittleEndian.Uint32(b[1:]),
+		Seq:    binary.LittleEndian.Uint64(b[5:]),
+		TS:     binary.LittleEndian.Uint64(b[13:]),
+	}
+}
+
+// watermarkRec is a decoded watermark record — frontier evidence for
+// recovery, eligible only when its heads lie within the recovered prefix.
+type watermarkRec struct {
+	heads [2]uint64
+	maxTS uint64
+	floor uint64
+}
+
+// scanFrames walks one file's frame sequence, invoking onFrame with each
+// valid payload, and returns the byte offset of the first invalid frame
+// (== len(data) when the file is fully valid). Validity is structural:
+// header present, sane length, CRC match, known kind, exact kind length,
+// stream bytes in range. The first failure truncates the scan — everything
+// after it is unreachable, by design.
+func scanFrames(data []byte, onFrame func(kind byte, payload []byte) bool) int {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return off
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n < 1 || n > maxFrame || len(rest) < frameHeader+n {
+			return off
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if binary.LittleEndian.Uint32(rest[4:]) != crc32.Checksum(payload, castagnoli) {
+			return off
+		}
+		if !validPayload(payload) {
+			return off
+		}
+		if !onFrame(payload[0], payload) {
+			return off
+		}
+		off += frameHeader + n
+	}
+}
+
+// validPayload checks kind-specific structure.
+func validPayload(p []byte) bool {
+	switch p[0] {
+	case kindInsert:
+		return len(p) == insertLen && p[1] <= 1
+	case kindWatermark:
+		return len(p) == watermarkLen
+	case kindSnapHeader:
+		return len(p) == snapHeaderLen
+	case kindSnapTuples:
+		if len(p) < 5 {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint32(p[1:]))
+		if len(p) != 5+n*tupleWire {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if p[5+i*tupleWire] > 1 {
+				return false
+			}
+		}
+		return true
+	case kindSnapFooter:
+		return len(p) == snapFooterLen
+	default:
+		return false
+	}
+}

@@ -1,0 +1,357 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+)
+
+const dir = "/w"
+
+func openLog(t *testing.T, fs FS, opts Options) (*Log, *State) {
+	t.Helper()
+	opts.Dir = dir
+	opts.FS = fs
+	g, st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return g, st
+}
+
+func countOpts(wr, ws uint64, fsyncEvery int) Options {
+	return Options{FsyncEvery: fsyncEvery, WR: wr, WS: ws}
+}
+
+func wantTuples(t *testing.T, got, want []Tuple) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tuples mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestOpenEmpty(t *testing.T) {
+	fs := NewMemFS()
+	g, st := openLog(t, fs, countOpts(4, 4, 1))
+	if st.Heads != [2]uint64{} || len(st.Tuples) != 0 {
+		t.Fatalf("empty dir recovered non-zero state: %+v", st)
+	}
+	l := g.NewLane()
+	if l.id != 0 {
+		t.Fatalf("first lane id = %d, want 0", l.id)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(4, 3, 1))
+	l0, l1 := g.NewLane(), g.NewLane()
+	for i := uint64(0); i < 10; i++ {
+		l0.AppendInsert(0, uint32(100+i), i, 0)
+	}
+	for i := uint64(0); i < 6; i++ {
+		l1.AppendInsert(1, uint32(200+i), i, 0)
+	}
+	l0.Close()
+	l1.Close()
+
+	_, st := openLog(t, fs, countOpts(4, 3, 1))
+	if st.Heads != [2]uint64{10, 6} {
+		t.Fatalf("heads = %v, want {10 6}", st.Heads)
+	}
+	if st.WMs != [2]uint64{6, 3} {
+		t.Fatalf("wms = %v, want {6 3}", st.WMs)
+	}
+	var want []Tuple
+	for i := uint64(3); i < 6; i++ {
+		want = append(want, Tuple{Stream: 1, Key: uint32(200 + i), Seq: i})
+	}
+	for i := uint64(6); i < 10; i++ {
+		want = append(want, Tuple{Stream: 0, Key: uint32(100 + i), Seq: i})
+	}
+	// Global seq sort interleaves the streams.
+	want = []Tuple{
+		{Stream: 1, Key: 203, Seq: 3}, {Stream: 1, Key: 204, Seq: 4},
+		{Stream: 1, Key: 205, Seq: 5}, {Stream: 0, Key: 106, Seq: 6},
+		{Stream: 0, Key: 107, Seq: 7}, {Stream: 0, Key: 108, Seq: 8},
+		{Stream: 0, Key: 109, Seq: 9},
+	}
+	wantTuples(t, st.Tuples, want)
+}
+
+func TestSeqHoleTruncatesFrontier(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l := g.NewLane()
+	for _, seq := range []uint64{0, 1, 2, 4, 5} { // 3 missing: a lost lane batch
+		l.AppendInsert(0, uint32(seq), seq, 0)
+	}
+	l.Close()
+
+	_, st := openLog(t, fs, countOpts(8, 8, 1))
+	if st.Heads[0] != 3 {
+		t.Fatalf("heads[0] = %d, want 3 (stop at the hole)", st.Heads[0])
+	}
+	wantTuples(t, st.Tuples, []Tuple{{Key: 0, Seq: 0}, {Key: 1, Seq: 1}, {Key: 2, Seq: 2}})
+}
+
+func TestDuplicateRecordsDedup(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l := g.NewLane()
+	for i := uint64(0); i < 3; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	// A retried batch re-appends an already-durable suffix.
+	l.AppendInsert(0, 1, 1, 0)
+	l.AppendInsert(0, 2, 2, 0)
+	l.Close()
+
+	_, st := openLog(t, fs, countOpts(8, 8, 1))
+	if st.Heads[0] != 3 || len(st.Tuples) != 3 {
+		t.Fatalf("heads=%v tuples=%v, want heads[0]=3 and 3 tuples", st.Heads, st.Tuples)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l := g.NewLane()
+	for i := uint64(0); i < 4; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Close()
+	// Tear the last record: chop 5 bytes off the segment.
+	path := dir + "/" + segName(0, 0)
+	torn := fs.Crash(false)
+	data, err := torn.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := torn.Create(path)
+	if _, err := f.Write(data[:len(data)-5]); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, st := openLog(t, torn, countOpts(8, 8, 1))
+	if st.Heads[0] != 3 {
+		t.Fatalf("heads[0] = %d, want 3 after torn tail", st.Heads[0])
+	}
+	if tr := g2.Stats().Truncations.Load(); tr != 1 {
+		t.Fatalf("truncations = %d, want 1", tr)
+	}
+}
+
+func TestBitFlipTruncated(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l := g.NewLane()
+	for i := uint64(0); i < 4; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Close()
+	path := dir + "/" + segName(0, 0)
+	rec := frameHeader + insertLen
+	// Flip a payload bit inside the third record: records 0-1 survive, the
+	// flip fails the CRC, and everything from there is unreachable.
+	if !fs.FlipBit(path, (2*rec+frameHeader+2)*8) {
+		t.Fatal("FlipBit out of range")
+	}
+	g2, st := openLog(t, fs, countOpts(8, 8, 1))
+	if st.Heads[0] != 2 {
+		t.Fatalf("heads[0] = %d, want 2 after bit flip", st.Heads[0])
+	}
+	if tr := g2.Stats().Truncations.Load(); tr != 1 {
+		t.Fatalf("truncations = %d, want 1", tr)
+	}
+}
+
+func TestSnapshotRoundTripAndPrune(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(4, 4, 1))
+	l := g.NewLane()
+	for i := uint64(0); i < 8; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Rotate() // seal the segment: the snapshot below covers it
+	snap := &State{
+		Heads:  [2]uint64{8, 0},
+		WMs:    [2]uint64{4, 0},
+		Tuples: []Tuple{{Key: 4, Seq: 4}, {Key: 5, Seq: 5}, {Key: 6, Seq: 6}, {Key: 7, Seq: 7}},
+	}
+	if err := g.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	g.Prune()
+	if fs.Size(dir+"/"+segName(0, 0)) != 0 && fs.Size(dir+"/"+segName(0, 0)) > 0 {
+		t.Fatalf("sealed segment survived prune")
+	}
+	// Post-snapshot appends land in the rotated segment.
+	for i := uint64(8); i < 10; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Close()
+
+	_, st := openLog(t, fs, countOpts(4, 4, 1))
+	if st.Heads[0] != 10 {
+		t.Fatalf("heads[0] = %d, want 10", st.Heads[0])
+	}
+	if st.WMs[0] != 6 {
+		t.Fatalf("wms[0] = %d, want 6", st.WMs[0])
+	}
+	wantTuples(t, st.Tuples, []Tuple{
+		{Key: 6, Seq: 6}, {Key: 7, Seq: 7}, {Key: 8, Seq: 8}, {Key: 9, Seq: 9},
+	})
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(16, 16, 1))
+	l := g.NewLane()
+	for i := uint64(0); i < 4; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Rotate()
+	older := &State{Heads: [2]uint64{4, 0}, Tuples: []Tuple{{Key: 0, Seq: 0}, {Key: 1, Seq: 1}, {Key: 2, Seq: 2}, {Key: 3, Seq: 3}}}
+	if err := g.WriteSnapshot(older); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(4); i < 6; i++ {
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	l.Rotate()
+	newer := &State{Heads: [2]uint64{6, 0}, Tuples: []Tuple{
+		{Key: 0, Seq: 0}, {Key: 1, Seq: 1}, {Key: 2, Seq: 2},
+		{Key: 3, Seq: 3}, {Key: 4, Seq: 4}, {Key: 5, Seq: 5},
+	}}
+	if err := g.WriteSnapshot(newer); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Corrupt the newest snapshot: recovery must fall back to the older one
+	// plus whatever segments still exist (none pruned here — Prune was never
+	// called, so the seqs 4-5 segment is still present).
+	if !fs.FlipBit(dir+"/"+snapName(1), (frameHeader+10)*8) {
+		t.Fatal("FlipBit failed")
+	}
+	g2, st := openLog(t, fs, countOpts(16, 16, 1))
+	if st.Heads[0] != 6 {
+		t.Fatalf("heads[0] = %d, want 6 (older snapshot + surviving segments)", st.Heads[0])
+	}
+	if len(st.Tuples) != 6 {
+		t.Fatalf("got %d tuples, want 6", len(st.Tuples))
+	}
+	if tr := g2.Stats().Truncations.Load(); tr == 0 {
+		t.Fatal("corrupt snapshot not counted as truncation")
+	}
+}
+
+func TestTimedRecovery(t *testing.T) {
+	opts := Options{FsyncEvery: 1, Timed: true, Span: 10}
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, opts)
+	l := g.NewLane()
+	for i := uint64(0); i < 20; i++ {
+		l.AppendInsert(0, uint32(i), i, i+1) // ts 1..20
+	}
+	l.Close()
+
+	_, st := openLog(t, fs, opts)
+	if st.Heads[0] != 20 {
+		t.Fatalf("heads[0] = %d, want 20", st.Heads[0])
+	}
+	if st.MaxTS != 20 || st.Floor != 20 {
+		t.Fatalf("maxTS=%d floor=%d, want 20/20 (slack 0)", st.MaxTS, st.Floor)
+	}
+	if st.WMs[0] != 11 {
+		t.Fatalf("wms[0] = %d, want 11 (retain ts in [11,20])", st.WMs[0])
+	}
+	if len(st.Tuples) != 10 {
+		t.Fatalf("got %d live tuples, want 10", len(st.Tuples))
+	}
+	for _, tu := range st.Tuples {
+		if tu.TS < 11 {
+			t.Fatalf("tuple %v below retain frontier", tu)
+		}
+	}
+}
+
+func TestWatermarkEligibility(t *testing.T) {
+	opts := Options{FsyncEvery: 1, Timed: true, Span: 100, Slack: 5}
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, opts)
+	meta, l := g.NewLane(), g.NewLane()
+	for i := uint64(0); i < 4; i++ {
+		l.AppendInsert(0, uint32(i), i, 10+i)
+	}
+	// Eligible: heads within the recovered frontier. Raises the floor past
+	// maxTS-slack (a Drain barrier had flushed the reorder buffer).
+	meta.AppendWatermark([2]uint64{4, 0}, 13, 13)
+	// Ineligible: claims a frontier (heads 9) beyond what the inserts prove.
+	meta.AppendWatermark([2]uint64{9, 0}, 90, 85)
+	meta.Close()
+	l.Close()
+
+	_, st := openLog(t, fs, opts)
+	if st.Heads[0] != 4 {
+		t.Fatalf("heads[0] = %d, want 4", st.Heads[0])
+	}
+	if st.MaxTS != 13 || st.Floor != 13 {
+		t.Fatalf("maxTS=%d floor=%d, want 13/13 (ineligible watermark ignored, floor from eligible one)", st.MaxTS, st.Floor)
+	}
+}
+
+func TestFsyncBatchingDurability(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 4))
+	l := g.NewLane()
+	for i := uint64(0); i < 3; i++ { // below the batch: nothing fsynced yet
+		l.AppendInsert(0, uint32(i), i, 0)
+	}
+	if _, st := openLog(t, fs.Crash(true), countOpts(8, 8, 4)); st.Heads[0] != 0 {
+		t.Fatalf("unsynced batch survived a lost-cache crash: heads=%v", st.Heads)
+	}
+	l.AppendInsert(0, 3, 3, 0) // 4th record triggers the batch fsync
+	if _, st := openLog(t, fs.Crash(true), countOpts(8, 8, 4)); st.Heads[0] != 4 {
+		t.Fatalf("synced batch lost: heads=%v, want heads[0]=4", st.Heads)
+	}
+	if got := g.Stats().Fsyncs.Load(); got != 1 {
+		t.Fatalf("fsyncs = %d, want 1", got)
+	}
+}
+
+func TestLaneWriteErrorDisablesLane(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l := g.NewLane()
+	l.AppendInsert(0, 0, 0, 0)
+	fs.CrashAfterBytes(fs.TotalBytes()) // every further write fails
+	l.AppendInsert(0, 1, 1, 0)
+	if l.err == nil {
+		t.Fatal("lane kept going after a write error")
+	}
+	// Disabled lane: further appends and lifecycle calls are silent no-ops.
+	l.AppendInsert(0, 2, 2, 0)
+	l.Sync()
+	l.Rotate()
+	l.Close()
+	if got := g.Stats().WriteErrors.Load(); got != 1 {
+		t.Fatalf("write errors = %d, want 1", got)
+	}
+}
+
+func TestFreshLaneIDsAfterReopen(t *testing.T) {
+	fs := NewMemFS()
+	g, _ := openLog(t, fs, countOpts(8, 8, 1))
+	l0, l1 := g.NewLane(), g.NewLane()
+	l0.AppendInsert(0, 0, 0, 0)
+	l0.Close()
+	l1.Close()
+
+	g2, _ := openLog(t, fs, countOpts(8, 8, 1))
+	if l := g2.NewLane(); l.id != 2 {
+		t.Fatalf("reopened lane id = %d, want 2 (never reuse old lanes)", l.id)
+	}
+}
